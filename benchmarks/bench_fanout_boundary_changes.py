@@ -1,0 +1,95 @@
+"""§3.4: percentage of inserters that change a granule boundary, vs fanout.
+
+Paper numbers (those that survive in the available copy): about 6-8% of
+inserters change a boundary at fanout 50 and 3-4% at fanout 100, for both
+point and spatial data, with the fraction decreasing monotonically in the
+fanout.  Under the modified insertion policy only these inserters pay the
+all-overlapping-paths overhead of Table 2.
+
+Absolute fractions depend on dataset density (granules tile the space
+more tightly as n grows, so small runs read high); the monotone-in-fanout
+shape is scale-free.  ``REPRO_FULL=1`` runs the paper's 32,000 objects
+with insertion-built trees.
+"""
+
+import pytest
+
+from repro.experiments import boundary_change_fraction, render_table
+
+from benchmarks.conftest import full_scale, report, scale
+
+FANOUTS = (12, 24, 50, 100)
+
+
+@pytest.mark.parametrize("data_kind", ["point", "spatial"])
+def test_boundary_change_fraction_vs_fanout(benchmark, data_kind):
+    n = scale(8_000, 32_000)
+    measured = scale(2_000, 4_000)
+
+    def run():
+        return [
+            boundary_change_fraction(
+                data_kind,
+                fanout=fanout,
+                n_objects=n,
+                measured=measured,
+                bulk_build=not full_scale(),
+            )
+            for fanout in FANOUTS
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["data", "fanout", "boundary-changing inserters %", "splits %"],
+            [
+                [
+                    data_kind,
+                    r.fanout,
+                    f"{r.percent:.1f}",
+                    f"{100 * r.splits / r.measured_insertions:.1f}",
+                ]
+                for r in results
+            ],
+            title=f"§3.4 -- inserters changing a granule boundary ({data_kind}, n={n})",
+        )
+    )
+    fractions = [r.fraction for r in results]
+    # the paper's claim: monotonically decreasing in fanout
+    for smaller, larger in zip(fractions, fractions[1:]):
+        assert larger <= smaller + 0.02, f"fraction did not fall with fanout: {fractions}"
+    assert fractions[-1] < fractions[0]
+
+
+def test_splits_are_rare_among_boundary_changes(benchmark):
+    """Most boundary changes are plain granule growth; node splits (the
+    expensive SMO) are a small minority -- which is why the paper treats
+    the split row of Table 3 as the uncommon case."""
+
+    def run():
+        return [
+            boundary_change_fraction(
+                kind, fanout=24, n_objects=scale(6_000, 32_000),
+                measured=scale(2_000, 4_000), bulk_build=not full_scale(),
+            )
+            for kind in ("point", "spatial")
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["data", "boundary-changing %", "of which splits %"],
+            [
+                [
+                    r.data_kind,
+                    f"{r.percent:.1f}",
+                    f"{100 * r.splits / max(1, r.boundary_changing):.1f}",
+                ]
+                for r in results
+            ],
+            title="§3.4 (companion) -- growth vs split among boundary changes (fanout 24)",
+        )
+    )
+    for r in results:
+        assert r.splits <= r.boundary_changing
+        assert r.splits / max(1, r.measured_insertions) < r.fraction

@@ -1,0 +1,70 @@
+"""Granule geometry statistics: the mechanism behind Table 2 and §3.4.
+
+Point data produces nearly disjoint leaf granules with real dead space
+(insertions often grow a granule: high §3.4 fraction, low Table 2 I/O);
+5%-extent rectangles produce overlapping granules with little dead space
+(insertions rarely escape a granule, but inserters following all
+overlapping paths visit many of them: low §3.4 fraction, high Table 2
+I/O).  This benchmark measures those drivers directly.
+"""
+
+import pytest
+
+from repro.experiments.granule_stats import measure_granule_stats
+from repro.experiments import render_table
+
+from benchmarks.conftest import report, scale
+
+
+def test_granule_geometry_by_data_kind(benchmark):
+    n = scale(6_000, 32_000)
+
+    def run():
+        out = []
+        for kind in ("point", "spatial"):
+            for fanout in (12, 50):
+                out.append(measure_granule_stats(kind, fanout=fanout, n_objects=n))
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        render_table(
+            [
+                "data",
+                "fanout",
+                "leaf granules",
+                "ext granules",
+                "overlap factor",
+                "dead space %",
+                "objects/granule",
+            ],
+            [
+                [
+                    s.data_kind,
+                    s.fanout,
+                    s.leaf_granules,
+                    s.external_granules,
+                    f"{s.overlap_factor:.2f}",
+                    f"{100 * s.dead_space_fraction:.1f}",
+                    f"{s.objects_per_granule:.1f}",
+                ]
+                for s in stats
+            ],
+            title=f"Granule geometry by dataset (n={n}, STR build)",
+        )
+    )
+    by_key = {(s.data_kind, s.fanout): s for s in stats}
+    # spatial data overlaps more than point data at equal fanout...
+    assert by_key[("spatial", 12)].overlap_factor > by_key[("point", 12)].overlap_factor
+    # ...and leaves less dead space
+    assert (
+        by_key[("spatial", 12)].dead_space_fraction
+        <= by_key[("point", 12)].dead_space_fraction
+    )
+    # larger fanout -> fewer, bigger granules -> less dead space
+    assert (
+        by_key[("point", 50)].dead_space_fraction
+        < by_key[("point", 12)].dead_space_fraction
+    )
+    # granule counts consistent with fanout
+    assert by_key[("point", 50)].leaf_granules < by_key[("point", 12)].leaf_granules

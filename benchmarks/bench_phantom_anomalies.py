@@ -1,0 +1,137 @@
+"""Phantom demonstration: the anomaly the whole paper is about.
+
+Across randomized concurrent schedules, count phantom/visibility
+anomalies detected by the history oracle for every scheme.  Sound schemes
+(all three DGL policies, tree-level locking, predicate locking) must show
+zero; object-only locking and the deliberately naive §3.2 insert policy
+must show a positive count.
+"""
+
+from repro.concurrency import find_phantoms
+from repro.experiments import RunConfig, render_table, run_workload
+from repro.experiments.runner import build_index
+from repro.workloads import MixSpec
+
+from benchmarks.conftest import report, scale
+
+import random
+
+from repro.concurrency import History, SimulatedWait, Simulator
+from repro.core import InsertionPolicy, PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.lock import LockManager
+from repro.rtree.tree import RTreeConfig
+from repro.txn import TransactionAborted
+
+
+def _anomaly_count(index_kind: str, seeds) -> int:
+    total = 0
+    for seed in seeds:
+        metrics = run_workload(
+            RunConfig(
+                index_kind=index_kind,
+                fanout=6,
+                n_preload=80,
+                n_workers=6,
+                txns_per_worker=4,
+                ops_per_txn=3,
+                seed=seed,
+                mix=MixSpec(read_scan=0.45, insert=0.35, delete=0.12, update_single=0.0,
+                            scan_extent=0.15),
+            )
+        )
+        total += metrics.phantom_anomalies
+    return total
+
+
+def _naive_anomaly_count(seeds) -> int:
+    """The NAIVE policy is not part of the public runner (it is unsound by
+    design), so drive it directly."""
+    total = 0
+    for seed in seeds:
+        sim = Simulator(seed=seed)
+        lm = LockManager(wait_strategy=SimulatedWait(sim))
+        history = History()
+        index = PhantomProtectedRTree(
+            RTreeConfig(max_entries=6, universe=Rect((0, 0), (1, 1))),
+            lock_manager=lm,
+            policy=InsertionPolicy.NAIVE,
+            history=history,
+            clock=lambda: sim.clock,
+        )
+        rng = random.Random(seed)
+        objects = {}
+        with index.transaction("load") as txn:
+            for i in range(80):
+                x, y = rng.random() * 0.9, rng.random() * 0.9
+                objects[i] = Rect((x, y), (x + 0.04, y + 0.04))
+                index.insert(txn, i, objects[i])
+        counter = [500]
+
+        def worker(wid):
+            def body():
+                r = random.Random(seed * 131 + wid)
+                for k in range(4):
+                    txn = index.begin(f"w{wid}-{k}")
+                    try:
+                        for _ in range(3):
+                            roll = r.random()
+                            x, y = r.random() * 0.8, r.random() * 0.8
+                            if roll < 0.45:
+                                index.read_scan(txn, Rect((x, y), (x + 0.15, y + 0.15)))
+                            elif roll < 0.85:
+                                counter[0] += 1
+                                index.insert(txn, counter[0], Rect((x, y), (x + 0.03, y + 0.03)))
+                            else:
+                                victim = r.choice(list(objects))
+                                index.delete(txn, victim, objects[victim])
+                            sim.checkpoint(r.random() * 8)
+                        index.commit(txn)
+                    except TransactionAborted:
+                        pass
+
+            return body
+
+        for w in range(6):
+            sim.spawn(f"w{w}", worker(w), delay=w * 0.1)
+        sim.run()
+        sim.raise_process_errors()
+        total += len(find_phantoms(history))
+    return total
+
+
+def test_phantom_anomaly_counts(benchmark):
+    seeds = range(scale(5, 12))
+
+    def run():
+        counts = {}
+        for kind in (
+            "dgl-all-paths",
+            "dgl-on-growth",
+            "dgl-active-searchers",
+            "tree-lock",
+            "predicate-lock",
+            "zorder-krl",
+            "object-lock",
+        ):
+            counts[kind] = _anomaly_count(kind, seeds)
+        counts["dgl-naive (§3.2, unsound)"] = _naive_anomaly_count(seeds)
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["scheme", "phantom anomalies", "expected"],
+            [
+                [kind, count, "0" if "naive" not in kind and kind != "object-lock" else "> 0"]
+                for kind, count in counts.items()
+            ],
+            title=f"Phantom anomalies across {len(list(seeds))} randomized schedules",
+        )
+    )
+    for kind, count in counts.items():
+        if kind == "object-lock" or "naive" in kind:
+            continue
+        assert count == 0, f"{kind} leaked {count} phantoms"
+    assert counts["object-lock"] > 0
+    assert counts["dgl-naive (§3.2, unsound)"] > 0

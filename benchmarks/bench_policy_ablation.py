@@ -1,0 +1,119 @@
+"""§3.4 ablation: base vs modified insertion policy.
+
+The modified policy's point is cost-shifting: only boundary-changing
+inserters traverse all overlapping paths.  Measured here, per policy:
+
+* extra page reads per insertion (the Table 2 overhead, amortised);
+* short-duration locks per insertion;
+* throughput under concurrency (identical workloads).
+"""
+
+import random
+
+from repro.core import InsertionPolicy, PhantomProtectedRTree
+from repro.experiments import RunConfig, compare_kinds, render_table
+from repro.geometry import Rect
+from repro.lock.modes import LockDuration
+from repro.rtree.tree import RTreeConfig
+from repro.workloads import MixSpec, uniform_rects
+
+from benchmarks.conftest import report, scale
+
+POLICIES = [
+    InsertionPolicy.ALL_PATHS,
+    InsertionPolicy.ON_GROWTH,
+    InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS,
+]
+
+
+def test_insert_cost_by_policy(benchmark):
+    """Single-threaded I/O + lock cost of inserts under each policy."""
+    n = scale(3_000, 16_000)
+    probes = scale(600, 2_000)
+
+    def run():
+        out = {}
+        base = uniform_rects(n, seed=3, extent_fraction=0.01)
+        probe_objects = uniform_rects(probes, seed=99, extent_fraction=0.01, start_oid=10_000_000)
+        for policy in POLICIES:
+            index = PhantomProtectedRTree(RTreeConfig(max_entries=16), policy=policy)
+            with index.transaction("load") as txn:
+                for oid, rect in base:
+                    index.insert(txn, oid, rect)
+            reads = 0
+            shorts = 0
+            changing = 0
+            with index.transaction("probe") as txn:
+                for oid, rect in probe_objects:
+                    res = index.insert(txn, oid, rect)
+                    reads += res.physical_reads
+                    shorts += sum(
+                        1 for _r, _m, d in res.locks_taken if d is LockDuration.SHORT
+                    )
+                    changing += res.changed_boundaries
+            out[policy] = (reads / probes, shorts / probes, 100 * changing / probes)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["insertion policy", "page reads/insert", "short locks/insert", "boundary-changing %"],
+            [
+                [p.value, f"{reads:.2f}", f"{shorts:.2f}", f"{pct:.1f}"]
+                for p, (reads, shorts, pct) in out.items()
+            ],
+            title="§3.4 ablation -- insert cost per policy (single-threaded)",
+        )
+    )
+    # modified policy must not cost more than the base policy
+    assert out[InsertionPolicy.ON_GROWTH][1] <= out[InsertionPolicy.ALL_PATHS][1] + 1e-9
+    # the active-searcher check can only reduce lock traffic further
+    assert (
+        out[InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS][1]
+        <= out[InsertionPolicy.ON_GROWTH][1] + 1e-9
+    )
+
+
+def test_policy_throughput_under_concurrency(benchmark):
+    """All three sound policies on the same concurrent workload."""
+    kinds = ["dgl-all-paths", "dgl-on-growth", "dgl-active-searchers"]
+
+    def run():
+        merged = {k: [] for k in kinds}
+        for seed in range(scale(2, 5)):
+            cfg = RunConfig(
+                fanout=8,
+                n_preload=scale(150, 300),
+                n_workers=8,
+                txns_per_worker=3,
+                ops_per_txn=4,
+                seed=seed,
+                mix=MixSpec(read_scan=0.35, insert=0.45, delete=0.1, update_single=0.0,
+                            think_time=3.0),
+            )
+            for kind, metrics in compare_kinds(kinds, cfg).items():
+                merged[kind].append(metrics)
+        return merged
+
+    merged = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for kind in kinds:
+        ms = merged[kind]
+        rows.append(
+            [
+                kind,
+                f"{sum(m.throughput for m in ms) / len(ms):.2f}",
+                f"{sum(m.locks_per_op for m in ms) / len(ms):.1f}",
+                f"{sum(m.physical_reads for m in ms) / len(ms):.0f}",
+                sum(m.phantom_anomalies for m in ms),
+            ]
+        )
+    report(
+        render_table(
+            ["policy", "throughput", "locks/op", "page reads", "phantoms"],
+            rows,
+            title="§3.4 ablation -- policy throughput under concurrency",
+        )
+    )
+    for kind in kinds:
+        assert sum(m.phantom_anomalies for m in merged[kind]) == 0

@@ -1,0 +1,100 @@
+"""R-tree substrate micro-benchmarks: split algorithms, build strategies,
+search and delete throughput.  Not a paper table -- supporting evidence
+that the substrate behaves like an R-tree should (e.g. R* split yields
+lower overlap, bulk loading is much faster than repeated insertion)."""
+
+import pytest
+
+from repro.experiments import render_table
+from repro.geometry import Rect
+from repro.rtree import RTree, RTreeConfig, validate_tree
+from repro.rtree.bulk import bulk_load
+from repro.workloads import uniform_rects
+
+from benchmarks.conftest import report, scale
+
+
+@pytest.mark.parametrize("split", ["linear", "quadratic", "rstar", "greene"])
+def test_insert_throughput_by_split(benchmark, split):
+    objects = uniform_rects(scale(1_500, 8_000), seed=1, extent_fraction=0.01)
+
+    def build():
+        tree = RTree(RTreeConfig(max_entries=16, split_algorithm=split))
+        for oid, rect in objects:
+            tree.insert(oid, rect)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    validate_tree(tree)
+
+
+def test_bulk_load_vs_incremental(benchmark):
+    objects = uniform_rects(scale(4_000, 32_000), seed=2, extent_fraction=0.01)
+
+    def build():
+        return bulk_load(objects, RTreeConfig(max_entries=16))
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    validate_tree(tree)
+    assert len(tree) == len(objects)
+
+
+def test_search_throughput(benchmark):
+    objects = uniform_rects(scale(4_000, 32_000), seed=3, extent_fraction=0.01)
+    tree = bulk_load(objects, RTreeConfig(max_entries=16))
+    queries = [rect for _oid, rect in uniform_rects(200, seed=4, extent_fraction=0.05)]
+
+    def search_all():
+        total = 0
+        for q in queries:
+            total += len(tree.search(q))
+        return total
+
+    total = benchmark(search_all)
+    assert total > 0
+
+
+def test_delete_throughput(benchmark):
+    objects = uniform_rects(scale(2_000, 8_000), seed=5, extent_fraction=0.01)
+
+    def build_and_delete():
+        tree = bulk_load(objects, RTreeConfig(max_entries=8))
+        for oid, rect in objects[: len(objects) // 2]:
+            tree.delete(oid, rect)
+        return tree
+
+    tree = benchmark.pedantic(build_and_delete, rounds=1, iterations=1)
+    validate_tree(tree)
+
+
+def test_split_quality_comparison(benchmark):
+    """Structural quality: R* should produce the least leaf overlap."""
+    objects = uniform_rects(scale(2_000, 8_000), seed=6, extent_fraction=0.02)
+
+    def measure():
+        out = {}
+        for split in ("linear", "quadratic", "rstar", "greene"):
+            tree = RTree(RTreeConfig(max_entries=12, split_algorithm=split))
+            for oid, rect in objects:
+                tree.insert(oid, rect)
+            leaves = [leaf.mbr() for leaf in tree.iter_leaves()]
+            overlap = 0.0
+            for i, a in enumerate(leaves):
+                for b in leaves[i + 1 :]:
+                    overlap += a.overlap_area(b)
+            area = sum(m.area() for m in leaves)
+            out[split] = (len(leaves), overlap, area)
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["split", "leaves", "total leaf overlap", "total leaf area"],
+            [
+                [split, n, f"{overlap:.4f}", f"{area:.4f}"]
+                for split, (n, overlap, area) in out.items()
+            ],
+            title="R-tree split algorithm quality (substrate check)",
+        )
+    )
+    assert out["rstar"][1] <= out["linear"][1]

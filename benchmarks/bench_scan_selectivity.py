@@ -1,0 +1,76 @@
+"""Scan-selectivity sweep: where does granule coarseness bite?
+
+The paper's Table 4 row "concurrency: lower (granular) vs higher
+(predicate)" is about false conflicts: a granular scan locks whole
+granules, so the larger the scan region, the more granules it pins and
+the more inserters it blocks that a predicate scheme would let through.
+This sweep varies the scan edge length and reports, per scheme,
+throughput and locks per operation -- making the coarseness cost (and the
+predicate scheme's per-acquisition scanning cost) visible as curves.
+"""
+
+from repro.experiments import RunConfig, compare_kinds, render_table
+from repro.workloads import MixSpec
+
+from benchmarks.conftest import report, scale
+
+EXTENTS = (0.02, 0.05, 0.10, 0.20)
+KINDS = ["dgl-on-growth", "predicate-lock", "tree-lock"]
+
+
+def test_scan_selectivity_sweep(benchmark):
+    def run():
+        table = {}
+        for extent in EXTENTS:
+            cfg = RunConfig(
+                fanout=12,
+                n_preload=scale(800, 2_000),
+                n_workers=8,
+                txns_per_worker=3,
+                ops_per_txn=3,
+                seed=5,
+                mix=MixSpec(
+                    read_scan=0.45,
+                    insert=0.40,
+                    delete=0.05,
+                    update_single=0.0,
+                    scan_extent=extent,
+                    object_extent=0.03,
+                    think_time=8.0,
+                ),
+            )
+            table[extent] = compare_kinds(KINDS, cfg)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for extent in EXTENTS:
+        row = [f"{extent:.2f}"]
+        for kind in KINDS:
+            m = table[extent][kind]
+            row.append(f"{m.throughput:.2f}")
+        row.append(f"{table[extent]['dgl-on-growth'].locks_per_op:.1f}")
+        rows.append(row)
+    report(
+        render_table(
+            ["scan edge"] + [f"{k} thr" for k in KINDS] + ["DGL locks/op"],
+            rows,
+            title="Scan-selectivity sweep -- granule coarseness vs predicate exactness",
+        )
+    )
+    # bigger scans pin more granules
+    dgl_locks = [table[e]["dgl-on-growth"].locks_per_op for e in EXTENTS]
+    assert dgl_locks[-1] > dgl_locks[0]
+    # every configuration stays phantom-free
+    for extent in EXTENTS:
+        for kind in KINDS:
+            assert table[extent][kind].phantom_anomalies == 0
+    # granular locking dominates whole-tree locking for *selective* scans;
+    # as the scan edge approaches the whole space, a granular scan pins
+    # nearly every granule and the two schemes converge -- that crossover
+    # is the point of this sweep and is reported, not hidden.
+    for extent in (0.02, 0.05):
+        assert (
+            table[extent]["dgl-on-growth"].throughput
+            >= table[extent]["tree-lock"].throughput
+        )

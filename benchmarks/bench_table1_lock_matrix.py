@@ -1,0 +1,63 @@
+"""Table 1: the lock-mode compatibility matrix, plus lock-manager
+micro-benchmarks (granular locks must be 'set and checked very
+efficiently by a standard lock manager' -- §2)."""
+
+from repro.lock import LockDuration, LockManager, LockMode, ResourceId
+from repro.lock.manager import SingleThreadedWait
+from repro.lock.modes import compatible
+from repro.experiments import render_table
+
+from benchmarks.conftest import report
+
+MODES = [LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X]
+
+
+def test_table1_compatibility_matrix(benchmark):
+    """Render Table 1 exactly as printed in the paper."""
+
+    def check_all():
+        return [
+            [compatible(req, held) for held in MODES] for req in MODES
+        ]
+
+    matrix = benchmark(check_all)
+    rows = [
+        [req.value] + ["yes" if ok else "no" for ok in row]
+        for req, row in zip(MODES, matrix)
+    ]
+    report(
+        render_table(
+            ["requested \\ held"] + [m.value for m in MODES],
+            rows,
+            title="Table 1 -- lock mode compatibility matrix",
+        )
+    )
+    # spot checks against the paper
+    assert matrix[MODES.index(LockMode.SIX)][MODES.index(LockMode.IS)]
+    assert not matrix[MODES.index(LockMode.SIX)][MODES.index(LockMode.IX)]
+    assert not any(matrix[MODES.index(LockMode.X)])
+
+
+def test_lock_acquire_release_throughput(benchmark):
+    """Set-and-clear cost of a granular lock: one hash-table operation."""
+    lm = LockManager(wait_strategy=SingleThreadedWait())
+    resources = [ResourceId.leaf(i) for i in range(64)]
+
+    def cycle():
+        for i, resource in enumerate(resources):
+            lm.acquire("t", resource, LockMode.IX, LockDuration.SHORT)
+        lm.end_operation("t")
+
+    benchmark(cycle)
+
+
+def test_conditional_denial_cost(benchmark):
+    """Cost of a denied conditional request (the protocol's common probe)."""
+    lm = LockManager(wait_strategy=SingleThreadedWait())
+    resource = ResourceId.leaf(1)
+    lm.acquire("holder", resource, LockMode.X)
+
+    def probe():
+        assert not lm.acquire("prober", resource, LockMode.S, conditional=True)
+
+    benchmark(probe)

@@ -1,0 +1,45 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark registers the paper-style table it reproduced via
+:func:`report`; a terminal-summary hook prints them all at the end of the
+run, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures both the timing numbers and the reproduced tables.
+
+Environment knobs:
+
+* ``REPRO_FULL=1`` -- run the experiments at the paper's full scale
+  (32,000 objects, insertion-built trees).  Default is a reduced scale
+  that finishes in seconds per benchmark and preserves every shape the
+  paper claims.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+_REPORTS: List[str] = []
+
+
+def report(text: str) -> None:
+    """Queue a rendered table for the end-of-run summary."""
+    _REPORTS.append(text)
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def scale(small: int, full: int) -> int:
+    return full if full_scale() else small
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper tables")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

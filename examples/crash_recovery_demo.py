@@ -1,0 +1,64 @@
+"""Crash recovery: committed work survives, in-flight work vanishes.
+
+A logged index runs a small booking workload; the process "crashes" with
+one transaction still in flight; recovery rebuilds the index from the
+durable log and we verify the recovered contents are exactly the
+committed state.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro.geometry import Rect
+from repro.recovery import LoggedIndex, WriteAheadLog, analyze, recover
+from repro.rtree import RTreeConfig, validate_tree
+
+TEN = Rect((0.0, 0.0), (10.0, 10.0))
+
+
+def main() -> None:
+    index = LoggedIndex(RTreeConfig(max_entries=8, universe=TEN))
+
+    with index.transaction("monday") as txn:
+        index.insert(txn, "room-a", Rect((1, 9), (3, 11 - 1)), payload="alice")
+        index.insert(txn, "room-b", Rect((4, 9), (6, 10)), payload="bob")
+
+    with index.transaction("tuesday") as txn:
+        index.delete(txn, "room-b", Rect((4, 9), (6, 10)))
+        index.insert(txn, "room-c", Rect((7, 9), (9, 10)), payload="carol")
+
+    print(f"committed so far: {sorted(map(str, _contents(index)))}")
+
+    # a transaction is mid-flight when the machine dies (its locks are
+    # still held -- nobody else can even see room-d)...
+    in_flight = index.begin("wednesday")
+    index.insert(in_flight, "room-d", Rect((1, 2), (3, 3)), payload="dave")
+    index.log.flush()  # say a background group-flush ran
+    print(f"log: {index.log}")
+
+    # ...crash: only the durable prefix of the log survives
+    survivor_log = index.log.crash()
+    print(f"\n-- crash --\nsurviving log: {survivor_log}")
+
+    # the log is all we need (it round-trips through plain text)
+    text = survivor_log.dumps()
+    reloaded = WriteAheadLog.loads(text)
+    report = analyze(reloaded)
+    print(f"analysis: {sorted(map(str, report.winners))} committed, "
+          f"{sorted(map(str, report.losers))} rolled back by the crash")
+
+    rebuilt, recovery = recover(reloaded, RTreeConfig(max_entries=8, universe=TEN))
+    validate_tree(rebuilt.tree)
+    contents = sorted(map(str, _contents(rebuilt)))
+    print(f"recovered: {contents}  ({recovery})")
+
+    assert contents == ["room-a", "room-c"], contents
+    print("\ncommitted state restored exactly; the in-flight insert is gone.")
+
+
+def _contents(index):
+    with index.transaction("check") as txn:
+        return list(index.read_scan(txn, TEN).oids)
+
+
+if __name__ == "__main__":
+    main()

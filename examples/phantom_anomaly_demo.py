@@ -1,0 +1,128 @@
+"""The paper's Figure 2(a) counterexample, step by step.
+
+Three transactions over two leaf granules g1 and g2:
+
+  t1  scans predicate R3 (inside g1 only) .................. S(g1)
+  t2  inserts R4; ChooseLeaf puts it in g2, growing g2 over
+      part of R3's region, then commits
+  t3  inserts R5 inside grown-g2 AND inside R3
+
+Under the *naive* cover-for-insert policy (§3.2), t3 only needs an IX on
+g2 -- no conflict with t1 -- and t1's repeated scan sees R5 appear from
+nowhere: the phantom.  Under the paper's protocol the boundary-changing
+inserter t2 takes a short IX on every granule it grows into (g1 among
+them), so it waits for t1, and the phantom is impossible.
+
+Run:  python examples/phantom_anomaly_demo.py
+"""
+
+from repro.concurrency import History, SimulatedWait, Simulator, find_phantoms
+from repro.core import InsertionPolicy, PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.lock import LockManager
+from repro.rtree import RTreeConfig
+from repro.txn import TransactionAborted
+
+UNIVERSE = Rect((0.0, 0.0), (10.0, 10.0))
+
+# Seed objects in two well-separated clusters; inserting six of them into
+# a fanout-4 tree forces a root split that yields exactly the two leaf
+# granules of the figure: g1 = (0,0)-(2,6), g2 = (7,1)-(9,2).
+G1_SEED_OBJECTS = [
+    ("a1", Rect((0, 0), (1, 1))),
+    ("a2", Rect((1, 5), (2, 6))),
+    ("a3", Rect((0.2, 2.0), (0.8, 2.6))),
+]
+G2_SEED_OBJECTS = [
+    ("b1", Rect((7, 1), (7.5, 1.5))),
+    ("b2", Rect((8.5, 1.5), (9, 2))),
+    ("b3", Rect((8.0, 1.2), (8.2, 1.4))),
+]
+
+R3 = Rect((0.5, 0.5), (1.5, 1.5))  # t1's scan: strictly inside g1
+R4 = Rect((1.0, 1.0), (7.2, 1.8))  # t2's insert: grows g2 across R3
+R5 = Rect((1.1, 1.1), (1.4, 1.4))  # t3's insert: in grown g2 ∩ R3
+
+
+def run(policy: InsertionPolicy):
+    sim = Simulator(seed=0)
+    history = History()
+    index = PhantomProtectedRTree(
+        RTreeConfig(max_entries=4, universe=UNIVERSE),
+        lock_manager=LockManager(wait_strategy=SimulatedWait(sim)),
+        policy=policy,
+        history=history,
+        clock=lambda: sim.clock,
+    )
+    with index.transaction("seed") as txn:
+        for oid, rect in G1_SEED_OBJECTS + G2_SEED_OBJECTS:
+            index.insert(txn, oid, rect)
+    assert index.tree.height == 2 and index.granules.granule_count()[0] == 2, (
+        "seeding should have produced exactly the figure's two leaf granules"
+    )
+
+    log = []
+
+    def t1():
+        txn = index.begin("t1")
+        first = index.read_scan(txn, R3)
+        log.append(f"  [{sim.clock:6.1f}] t1 scans R3          -> {sorted(first.oids)}")
+        sim.checkpoint(100)
+        second = index.read_scan(txn, R3)
+        log.append(f"  [{sim.clock:6.1f}] t1 re-scans R3       -> {sorted(second.oids)}")
+        index.commit(txn)
+        log.append(f"  [{sim.clock:6.1f}] t1 commits")
+        return first.oids, second.oids
+
+    def t2():
+        sim.checkpoint(5)
+        txn = index.begin("t2")
+        try:
+            index.insert(txn, "R4", R4)
+            index.commit(txn)
+            log.append(f"  [{sim.clock:6.1f}] t2 inserted R4 (grew g2) and committed")
+        except TransactionAborted:
+            log.append(f"  [{sim.clock:6.1f}] t2 aborted (deadlock victim)")
+
+    def t3():
+        sim.checkpoint(10)
+        txn = index.begin("t3")
+        try:
+            index.insert(txn, "R5", R5)
+            index.commit(txn)
+            log.append(f"  [{sim.clock:6.1f}] t3 inserted R5 (inside R3!) and committed")
+        except TransactionAborted:
+            log.append(f"  [{sim.clock:6.1f}] t3 aborted (deadlock victim)")
+
+    p1 = sim.spawn("t1", t1)
+    sim.spawn("t2", t2)
+    sim.spawn("t3", t3)
+    sim.run()
+    sim.raise_process_errors()
+    for line in log:
+        print(line)
+    first, second = p1.result
+    anomalies = find_phantoms(history)
+    return first, second, anomalies
+
+
+def main() -> None:
+    print("=== naive cover-for-insert policy (§3.2 -- broken on purpose) ===")
+    first, second, anomalies = run(InsertionPolicy.NAIVE)
+    print(f"  t1's scans: {sorted(first)} then {sorted(second)}")
+    print(f"  oracle verdict: {len(anomalies)} anomalies")
+    for a in anomalies:
+        print(f"    - {a.kind}: {a.detail}")
+    assert "R5" in second and "R5" not in first, "expected the phantom to appear"
+
+    print()
+    print("=== dynamic granular locking (§3.3, modified policy) ===")
+    first, second, anomalies = run(InsertionPolicy.ON_GROWTH)
+    print(f"  t1's scans: {sorted(first)} then {sorted(second)}")
+    print(f"  oracle verdict: {len(anomalies)} anomalies")
+    assert first == second and not anomalies
+    print("  repeatable read preserved: the growth-fencing IX locks made t2 wait.")
+
+
+if __name__ == "__main__":
+    main()

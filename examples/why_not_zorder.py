@@ -1,0 +1,67 @@
+"""Why not just sort spatial data and reuse B-tree locking?  (§2, live)
+
+The obvious alternative to the paper's protocol: impose a total order
+(Z-order) on the data, store it in a B+-tree, and use textbook key-range
+locking.  It is phantom-safe -- and this script shows *why the paper
+rejects it anyway*, on your machine, with one region query.
+
+Run:  python examples/why_not_zorder.py
+"""
+
+import random
+
+from repro.baselines.zorder_krl import ZOrderKRLIndex
+from repro.core import PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.rtree import RTreeConfig
+from repro.workloads import uniform_rects
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+def main(n: int = 4000, seed: int = 7) -> None:
+    objects = uniform_rects(n, seed=seed, extent_fraction=0.01)
+
+    zidx = ZOrderKRLIndex(max_object_extent=0.03)
+    with zidx.transaction("load") as txn:
+        for oid, rect in objects:
+            zidx.insert(txn, oid, rect)
+
+    ridx = PhantomProtectedRTree(RTreeConfig(max_entries=32, universe=UNIT))
+    with ridx.transaction("load") as txn:
+        for oid, rect in objects:
+            ridx.insert(txn, oid, rect)
+
+    # a modest query that happens to straddle the Z-curve's central seam
+    query = Rect((0.46, 0.46), (0.54, 0.54))
+    print(f"{n} objects; region query {query}\n")
+
+    with zidx.transaction("scan") as txn:
+        zres = zidx.read_scan(txn, query)
+    print("Z-order + key-range locking:")
+    print(f"  objects actually in the region : {len(zres.matches)}")
+    print(f"  entries locked and read        : {zres.interval_entries}")
+    print(f"  ...of which false positives    : {zres.false_locked}")
+    print(f"  pages read                     : {zres.physical_reads}")
+
+    with ridx.transaction("scan") as txn:
+        rres = ridx.read_scan(txn, query)
+    print("\nDynamic granular locking (the paper):")
+    print(f"  objects actually in the region : {len(rres.matches)}")
+    print(f"  granule locks taken            : {len(rres.locks_taken)}")
+    print(f"  pages read                     : {rres.physical_reads}")
+
+    assert sorted(map(str, zres.oids)) == sorted(map(str, rres.oids)), "both must agree"
+    blowup = zres.interval_entries / max(1, len(zres.matches))
+    print(
+        f"\nThe Z-interval covering this query locks {blowup:.0f}x more objects "
+        "than the region contains -- every one of those locks blocks a writer "
+        "that the granular scheme would never touch.  That is §2's argument: "
+        '"an object will be accessed as long as it is within the upper and '
+        'the lower bounds in the region according to the superimposed total '
+        'order."'
+    )
+
+
+if __name__ == "__main__":
+    main()

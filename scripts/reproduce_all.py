@@ -1,0 +1,181 @@
+"""Regenerate every reproduced table in one run.
+
+Writes a markdown report with all measured tables (the same ones the
+benchmark suite prints) so EXPERIMENTS.md can be refreshed from a single
+command:
+
+    python scripts/reproduce_all.py [--full] [-o report.md]
+
+``--full`` uses the paper's scale (32,000 objects, insertion-built
+trees); expect tens of minutes.  The default reduced scale finishes in a
+few minutes and preserves every shape claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    INDEX_KINDS,
+    RunConfig,
+    boundary_change_fraction,
+    compare_kinds,
+    measure_insertion_overhead,
+    render_table,
+)
+from repro.experiments.table2 import fanout_for_height
+from repro.workloads import MixSpec
+
+
+def section(out, title):
+    out.append(f"\n## {title}\n")
+
+
+def table(out, *args, **kwargs):
+    out.append("```")
+    out.append(render_table(*args, **kwargs))
+    out.append("```")
+
+
+def reproduce_table2(out, full: bool):
+    section(out, "Table 2 — avg disk accesses per insertion (all overlapping paths)")
+    n = 32_000 if full else 8_000
+    measured = 2_000 if full else 1_000
+    rows = []
+    for kind in ("point", "spatial"):
+        for height in (3, 4, 5):
+            fanout = fanout_for_height(height, n)
+            row = measure_insertion_overhead(
+                kind, fanout=fanout, n_objects=n, measured=measured, bulk_build=not full
+            )
+            cells = [kind, fanout, row.height]
+            for level in (2, 3, 4):
+                cells.append(
+                    f"{row.ada_per_level[level]:.2f}" if level in row.ada_per_level else "-"
+                )
+            cells.append(f"{row.total_overhead:.2f}")
+            rows.append(cells)
+    table(
+        out,
+        ["data", "fanout", "height", "ADA lvl2", "ADA lvl3", "ADA lvl4", "total overhead"],
+        rows,
+        title=f"n={n}, measured={measured}, build={'insertion' if full else 'STR'}",
+    )
+
+
+def reproduce_fanout_sweep(out, full: bool):
+    section(out, "§3.4 — boundary-changing inserters vs fanout")
+    n = 32_000 if full else 8_000
+    measured = 4_000 if full else 2_000
+    rows = []
+    for kind in ("point", "spatial"):
+        for fanout in (12, 24, 50, 100):
+            r = boundary_change_fraction(
+                kind, fanout=fanout, n_objects=n, measured=measured, bulk_build=not full
+            )
+            rows.append([kind, fanout, f"{r.percent:.1f}"])
+    table(out, ["data", "fanout", "boundary-changing %"], rows, title=f"n={n}")
+
+
+def reproduce_table4(out, full: bool):
+    section(out, "Table 4 — scheme comparison (deferred experiment, run here)")
+    merged = {}
+    seeds = range(4 if full else 2)
+    for seed in seeds:
+        cfg = RunConfig(
+            fanout=12,
+            n_preload=2_000 if full else 800,
+            n_workers=8,
+            txns_per_worker=6 if full else 3,
+            ops_per_txn=3,
+            seed=seed,
+            mix=MixSpec(read_scan=0.40, insert=0.35, delete=0.10, update_single=0.05,
+                        scan_extent=0.05, object_extent=0.03, think_time=8.0),
+        )
+        for kind, metrics in compare_kinds(list(INDEX_KINDS), cfg).items():
+            merged.setdefault(kind, []).append(metrics)
+    rows = []
+    for kind in INDEX_KINDS:
+        ms = merged[kind]
+        rows.append(
+            [
+                kind,
+                f"{sum(m.throughput for m in ms) / len(ms):.2f}",
+                f"{sum(m.locks_per_op for m in ms) / len(ms):.1f}",
+                int(sum(m.predicate_comparisons for m in ms) / len(ms)),
+                f"{100 * sum(m.abort_rate for m in ms) / len(ms):.0f}%",
+                sum(m.phantom_anomalies for m in ms),
+            ]
+        )
+    table(
+        out,
+        ["scheme", "throughput", "locks/op", "pred cmps", "aborts", "phantoms"],
+        rows,
+        title=f"mixed workload, seeds={len(list(seeds))}",
+    )
+
+
+def reproduce_mechanisms(out, full: bool):
+    from repro.experiments.granule_stats import measure_granule_stats
+    from repro.experiments.delete_rationale import measure_delete_rationale
+    from repro.experiments.table2 import measure_buffered_overhead, fanout_for_height
+
+    n = 32_000 if full else 6_000
+    section(out, "Granule geometry (the T2/§3.4 mechanism)")
+    rows = []
+    for kind in ("point", "spatial"):
+        for fanout in (12, 50):
+            s = measure_granule_stats(kind, fanout=fanout, n_objects=n)
+            rows.append(
+                [kind, fanout, s.leaf_granules, f"{s.overlap_factor:.2f}",
+                 f"{100 * s.dead_space_fraction:.1f}%"]
+            )
+    table(out, ["data", "fanout", "leaf granules", "overlap factor", "dead space"], rows)
+
+    section(out, "§3.6 — cost of the rejected immediate-physical-delete design")
+    rows = []
+    for kind in ("point", "spatial"):
+        s = measure_delete_rationale(kind, fanout=12, n_objects=n)
+        rows.append(
+            [kind, f"{100 * s.uncovered_fraction:.1f}%",
+             f"{s.mean_cover_locks:.2f}", s.max_cover_locks, 1]
+        )
+    table(out, ["data", "g shrinks off O", "mean locks (physical)", "worst", "logical"], rows)
+
+    section(out, "§3.4 buffer argument — top 3 levels resident")
+    rows = []
+    for height in (4, 5):
+        fanout = fanout_for_height(height, n)
+        r = measure_buffered_overhead("point", fanout=fanout, n_objects=n)
+        rows.append([r.height, f"{r.cold_overhead:.2f}", f"{r.warm_overhead:.2f}"])
+    table(out, ["height", "cold extra I/O", "warm extra I/O"], rows)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper scale (slow)")
+    parser.add_argument("-o", "--output", default=None, help="write markdown here")
+    args = parser.parse_args(argv)
+
+    out = [f"# Reproduction report ({'full' if args.full else 'reduced'} scale)"]
+    start = time.time()
+    reproduce_table2(out, args.full)
+    reproduce_fanout_sweep(out, args.full)
+    reproduce_table4(out, args.full)
+    reproduce_mechanisms(out, args.full)
+    out.append(f"\n_generated in {time.time() - start:.0f}s_")
+
+    text = "\n".join(out)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Dynamic granular locking for phantom protection in R-trees.
+
+A from-scratch reproduction of Chakrabarti & Mehrotra, *Dynamic Granular
+Locking Approach to Phantom Protection in R-trees* (ICDE 1998): a
+transactional R-tree whose scans are protected from phantom insertions
+and deletions by locks on dynamically changing granules -- the
+lowest-level bounding rectangles plus one *external* granule per non-leaf
+node.
+
+Quick start::
+
+    from repro import PhantomProtectedRTree, Rect, RTreeConfig
+
+    index = PhantomProtectedRTree(RTreeConfig(max_entries=32))
+    with index.transaction() as txn:
+        index.insert(txn, "a", Rect((0.1, 0.1), (0.2, 0.2)))
+        hits = index.read_scan(txn, Rect((0.0, 0.0), (0.5, 0.5)))
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+reproduction of the paper's evaluation.
+"""
+
+from repro.core import (
+    DeferredDeleteQueue,
+    GranuleSet,
+    InsertionPolicy,
+    PhantomProtectedRTree,
+    ScanResult,
+)
+from repro.geometry import Rect, Region
+from repro.lock import LockDuration, LockManager, LockMode, ResourceId
+from repro.rtree import RTree, RTreeConfig, validate_tree
+from repro.txn import Transaction, TransactionAborted, TransactionManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PhantomProtectedRTree",
+    "InsertionPolicy",
+    "GranuleSet",
+    "ScanResult",
+    "DeferredDeleteQueue",
+    "Rect",
+    "Region",
+    "RTree",
+    "RTreeConfig",
+    "validate_tree",
+    "LockManager",
+    "LockMode",
+    "LockDuration",
+    "ResourceId",
+    "Transaction",
+    "TransactionManager",
+    "TransactionAborted",
+    "__version__",
+]

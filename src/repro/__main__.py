@@ -1,0 +1,110 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        -- the Figure 2(a) phantom demonstration
+* ``quickstart``  -- the basic API walkthrough
+* ``gis``         -- the concurrent GIS workload example
+* ``booking``     -- the reservation / double-booking example
+* ``recovery``    -- the crash-recovery example
+* ``zorder``      -- §2: why a Z-ordered B-tree with key-range locking loses
+* ``reproduce``   -- regenerate the paper's tables (``--full`` for 32k scale)
+* ``selftest``    -- a quick end-to-end sanity run (no pytest needed)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _selftest() -> int:
+    import random
+
+    from repro import PhantomProtectedRTree, Rect, RTreeConfig, validate_tree
+    from repro.concurrency import History, find_phantoms
+
+    history = History()
+    index = PhantomProtectedRTree(RTreeConfig(max_entries=8), history=history)
+    rng = random.Random(0)
+    objects = {}
+    with index.transaction("load") as txn:
+        for i in range(500):
+            x, y = rng.random() * 0.95, rng.random() * 0.95
+            objects[i] = Rect((x, y), (x + 0.02, y + 0.02))
+            index.insert(txn, i, objects[i])
+    with index.transaction("edit") as txn:
+        for i in range(100):
+            index.delete(txn, i, objects[i])
+    index.vacuum()
+    with index.transaction("check") as txn:
+        result = index.read_scan(txn, Rect((0, 0), (1, 1)))
+    assert sorted(result.oids) == sorted(range(100, 500))
+    validate_tree(index.tree)
+    assert index.granules.coverage_leftover().is_empty()
+    assert find_phantoms(history) == []
+    print("selftest ok: 500 inserts, 100 deletes + vacuum, full scan, "
+          "granule coverage and phantom oracle all clean")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Dynamic granular locking for phantom protection in R-trees "
+        "(ICDE 1998 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="Figure 2(a) phantom demonstration")
+    sub.add_parser("quickstart", help="basic API walkthrough")
+    sub.add_parser("gis", help="concurrent GIS workload example")
+    sub.add_parser("booking", help="reservation / double-booking example")
+    sub.add_parser("recovery", help="crash-recovery example")
+    sub.add_parser("zorder", help="§2: Z-order + KRL vs granular locking")
+    repro = sub.add_parser("reproduce", help="regenerate the paper's tables")
+    repro.add_argument("--full", action="store_true")
+    repro.add_argument("-o", "--output", default=None)
+    sub.add_parser("selftest", help="quick end-to-end sanity run")
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "selftest":
+        return _selftest()
+    if args.command == "reproduce":
+        from scripts.reproduce_all import main as reproduce_main  # type: ignore[import-not-found]
+
+        forwarded = []
+        if args.full:
+            forwarded.append("--full")
+        if args.output:
+            forwarded.extend(["-o", args.output])
+        return reproduce_main(forwarded)
+
+    import importlib
+
+    module_by_command = {
+        "demo": "phantom_anomaly_demo",
+        "quickstart": "quickstart",
+        "gis": "gis_map_service",
+        "booking": "reservation_system",
+        "recovery": "crash_recovery_demo",
+        "zorder": "why_not_zorder",
+    }
+    name = module_by_command[args.command]
+    try:
+        module = importlib.import_module(f"examples.{name}")
+    except ModuleNotFoundError:
+        print(
+            f"example module examples.{name} not importable -- run from the "
+            "repository root (the examples/ directory is not installed)",
+            file=sys.stderr,
+        )
+        return 1
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

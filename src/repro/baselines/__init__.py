@@ -1,0 +1,40 @@
+"""Baseline transactional indexes the paper compares (or contrasts) with.
+
+All three expose the same operation surface as
+:class:`~repro.core.index.PhantomProtectedRTree`, so the experiments can
+swap them freely:
+
+* :class:`~repro.baselines.tree_lock.TreeLockIndex` -- the Postgres
+  strategy the paper's introduction cites: every transaction locks the
+  *entire* R-tree (S for reads, X for writes).  Trivially phantom-free,
+  no concurrency.
+* :class:`~repro.baselines.predicate_lock.PredicateLockIndex` -- predicate
+  locking in the spirit of the paper's [12] (GiST phantom protection):
+  operations attach predicates and conflict by satisfiability
+  (rectangle overlap) instead of by lock names.  Phantom-free, but every
+  acquisition scans the predicate table -- the lock overhead the paper's
+  Table 4 argues against.
+* :class:`~repro.baselines.object_lock.ObjectLockIndex` -- plain
+  object-level S/X locking with *no* range protection.  This is the
+  strawman that exhibits phantoms; the benchmarks use it to demonstrate
+  the anomaly is real.
+* :class:`~repro.baselines.zorder_krl.ZOrderKRLIndex` -- the §2
+  alternative: a Z-ordered B+-tree protected by key-range locking.
+  Phantom-safe but with the high lock overhead and low concurrency the
+  paper predicts for any imposed total order.
+"""
+
+from repro.baselines.common import BaselineIndex
+from repro.baselines.tree_lock import TreeLockIndex
+from repro.baselines.predicate_lock import PredicateLockIndex, PredicateLockTable
+from repro.baselines.object_lock import ObjectLockIndex
+from repro.baselines.zorder_krl import ZOrderKRLIndex
+
+__all__ = [
+    "BaselineIndex",
+    "TreeLockIndex",
+    "PredicateLockIndex",
+    "PredicateLockTable",
+    "ObjectLockIndex",
+    "ZOrderKRLIndex",
+]

@@ -1,0 +1,256 @@
+"""Shared machinery for the baseline indexes.
+
+:class:`BaselineIndex` owns the R-tree, transaction manager, history
+recording and payload store, and turns each operation into the template
+
+    lock (subclass hook)  ->  apply under latch  ->  record
+
+Subclasses only decide *what to lock*.  Baselines perform deletes
+physically and immediately (they either hold an X on the whole tree, make
+no stability promises at all, or hold a predicate covering the object, so
+the deferred-delete machinery of §3.6 is unnecessary for them).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.concurrency.history import History, OpKind
+from repro.core.index import DeleteResult, InsertResult, OpResult, ScanResult, SingleResult
+from repro.geometry import Rect
+from repro.lock.manager import DeadlockError, LockManager
+from repro.rtree.entry import ObjectId
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.txn import Transaction, TransactionAborted, TransactionManager
+
+
+class BaselineIndex:
+    """Template base class; see module docstring."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        config: Optional[RTreeConfig] = None,
+        lock_manager: Optional[LockManager] = None,
+        txn_manager: Optional[TransactionManager] = None,
+        history: Optional[History] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.tree = RTree(config)
+        self.lock_manager = lock_manager if lock_manager is not None else LockManager()
+        self.txn_manager = (
+            txn_manager if txn_manager is not None else TransactionManager(self.lock_manager)
+        )
+        self.history = history
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.payloads: Dict[ObjectId, Any] = {}
+        self.latch = threading.RLock()
+
+    @property
+    def stats(self):
+        return self.tree.pager.stats
+
+    # -- subclass hooks (each may wait; called without the latch) ---------
+
+    def _lock_scan(self, txn: Transaction, predicate: Rect, for_update: bool) -> None:
+        raise NotImplementedError
+
+    def _lock_write(self, txn: Transaction, oid: ObjectId, rect: Rect) -> None:
+        raise NotImplementedError
+
+    def _lock_read_single(self, txn: Transaction, oid: ObjectId, rect: Rect) -> None:
+        raise NotImplementedError
+
+    def _lock_update_single(self, txn: Transaction, oid: ObjectId, rect: Rect) -> None:
+        raise NotImplementedError
+
+    def _on_finish(self, txn: Transaction) -> None:
+        """Extra cleanup at commit/abort (predicate tables override)."""
+
+    def _acquisition_count(self) -> int:
+        """Total lock/predicate acquisitions so far (for per-op deltas)."""
+        return self.lock_manager.total_acquisitions()
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self, name: Optional[str] = None) -> Transaction:
+        txn = self.txn_manager.begin(name)
+        self._record(txn, OpKind.BEGIN)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        self.txn_manager.commit(txn)
+        self._on_finish(txn)
+        self._record(txn, OpKind.COMMIT)
+
+    def abort(self, txn: Transaction, reason: str = "explicit abort") -> None:
+        self.txn_manager.abort(txn, reason)
+        self._on_finish(txn)
+        self._record(txn, OpKind.ABORT)
+
+    @contextmanager
+    def transaction(self, name: Optional[str] = None) -> Iterator[Transaction]:
+        txn = self.begin(name)
+        try:
+            yield txn
+        except BaseException:
+            if txn.is_active:
+                self.abort(txn, reason="exception in transaction body")
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    @contextmanager
+    def _operation(self, txn: Transaction, result: OpResult) -> Iterator[None]:
+        if not txn.is_active:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason or "not active")
+        before_locks = self._acquisition_count()
+        before_waits = self.lock_manager.wait_count
+        before_reads = self.stats.physical_reads
+        try:
+            yield None
+        except DeadlockError as exc:
+            self.txn_manager.abort(txn, f"deadlock victim: {exc}")
+            self._on_finish(txn)
+            self._record(txn, OpKind.ABORT)
+            raise TransactionAborted(txn.txn_id, f"deadlock victim: {exc}")
+        finally:
+            result.lock_waits = self.lock_manager.wait_count - before_waits
+            result.physical_reads = self.stats.physical_reads - before_reads
+            # Approximate per-op lock count from the manager's counter
+            # delta (baselines do not thread an OpContext through).
+            count = self._acquisition_count() - before_locks
+            result.locks_taken = [None] * max(0, count)  # type: ignore[list-item]
+
+    # -- operations ------------------------------------------------------------
+
+    def insert(
+        self, txn: Transaction, oid: ObjectId, rect: Rect, payload: Any = None
+    ) -> InsertResult:
+        result = InsertResult()
+        with self._operation(txn, result):
+            self._lock_write(txn, oid, rect)
+            with self.latch:
+                report = self.tree.insert(oid, rect)
+            result.report = report
+            result.changed_boundaries = report.changed_boundaries
+            self.payloads[oid] = payload
+            txn.log_undo(lambda: self._undo_insert(oid, rect))
+            txn.writes += 1
+            self._record(txn, OpKind.INSERT, oid=oid, rect=rect)
+        return result
+
+    def delete(self, txn: Transaction, oid: ObjectId, rect: Rect) -> DeleteResult:
+        result = DeleteResult()
+        with self._operation(txn, result):
+            self._lock_write(txn, oid, rect)
+            with self.latch:
+                located = self.tree.find_entry(oid, rect)
+                if located is not None:
+                    self.tree.delete(oid, rect)
+            if located is not None:
+                result.found = True
+                old_payload = self.payloads.pop(oid, None)
+                txn.log_undo(lambda: self._undo_delete(oid, rect, old_payload))
+                txn.writes += 1
+                self._record(txn, OpKind.DELETE, oid=oid, rect=rect)
+        return result
+
+    def read_single(self, txn: Transaction, oid: ObjectId, rect: Rect) -> SingleResult:
+        result = SingleResult()
+        with self._operation(txn, result):
+            self._lock_read_single(txn, oid, rect)
+            with self.latch:
+                located = self.tree.find_entry(oid, rect)
+            if located is not None:
+                result.found = True
+                result.rect = located[1].rect
+                result.payload = self.payloads.get(oid)
+            txn.reads += 1
+            self._record(
+                txn, OpKind.READ_SINGLE, oid=oid, rect=rect,
+                result=(oid,) if result.found else (),
+            )
+        return result
+
+    def read_scan(self, txn: Transaction, predicate: Rect) -> ScanResult:
+        result = ScanResult()
+        with self._operation(txn, result):
+            self._lock_scan(txn, predicate, for_update=False)
+            with self.latch:
+                entries = self.tree.search(predicate)
+            result.matches = [(e.oid, e.rect, self.payloads.get(e.oid)) for e in entries]
+            txn.reads += 1
+            self._record(txn, OpKind.READ_SCAN, rect=predicate, result=result.oids)
+        return result
+
+    def update_single(
+        self, txn: Transaction, oid: ObjectId, rect: Rect, payload: Any
+    ) -> SingleResult:
+        result = SingleResult()
+        with self._operation(txn, result):
+            self._lock_update_single(txn, oid, rect)
+            with self.latch:
+                located = self.tree.find_entry(oid, rect)
+            if located is not None:
+                result.found = True
+                result.rect = located[1].rect
+                old = self.payloads.get(oid)
+                self.payloads[oid] = payload
+                result.payload = payload
+                txn.log_undo(lambda: self.payloads.__setitem__(oid, old))
+                txn.writes += 1
+            self._record(
+                txn, OpKind.UPDATE_SINGLE, oid=oid, rect=rect,
+                result=(oid,) if result.found else (),
+            )
+        return result
+
+    def update_scan(
+        self,
+        txn: Transaction,
+        predicate: Rect,
+        update: Callable[[ObjectId, Rect, Any], Any],
+    ) -> ScanResult:
+        result = ScanResult()
+        with self._operation(txn, result):
+            self._lock_scan(txn, predicate, for_update=True)
+            with self.latch:
+                entries = self.tree.search(predicate)
+            for e in entries:
+                old = self.payloads.get(e.oid)
+                new = update(e.oid, e.rect, old)
+                self.payloads[e.oid] = new
+                txn.log_undo(lambda oid=e.oid, value=old: self.payloads.__setitem__(oid, value))
+                result.matches.append((e.oid, e.rect, new))
+            txn.reads += 1
+            txn.writes += len(entries)
+            self._record(txn, OpKind.UPDATE_SCAN, rect=predicate, result=result.oids)
+        return result
+
+    def vacuum(self, limit: Optional[int] = None) -> int:
+        """Baselines delete physically; nothing is deferred."""
+        return 0
+
+    # -- undo ------------------------------------------------------------------
+
+    def _undo_insert(self, oid: ObjectId, rect: Rect) -> None:
+        with self.latch:
+            self.tree.delete(oid, rect)
+        self.payloads.pop(oid, None)
+
+    def _undo_delete(self, oid: ObjectId, rect: Rect, payload: Any) -> None:
+        with self.latch:
+            self.tree.insert(oid, rect)
+        self.payloads[oid] = payload
+
+    def _record(self, txn: Transaction, kind: OpKind, **kw: Any) -> None:
+        if self.history is not None:
+            self.history.record(txn.txn_id, kind, sim_time=self._clock(), **kw)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={self.tree.size}, height={self.tree.height})"

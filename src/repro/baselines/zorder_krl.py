@@ -1,0 +1,331 @@
+"""Z-order + key-range locking: the alternative §2 argues against.
+
+Objects are stored in a B+-tree keyed by the Z-order (Morton) code of
+their centre; phantom protection comes from textbook key-range locking.
+The scheme is *sound* -- scans lock every key range overlapping their
+Z-interval, so no overlapping insert can slip in -- but the paper's two
+predicted pathologies are measurable:
+
+* **extra I/O**: a region query must scan the whole Z-interval
+  ``[z(lo), z(hi)]``, reading every entry whose code falls inside even
+  when its rectangle is nowhere near the region;
+* **false locks / low concurrency**: all those unrelated entries get
+  commit-duration S locks, blocking writers that a spatial scheme would
+  never touch ("locking objects which may not be in the region specified
+  by the query").
+
+Completeness note: an object can intersect a query without its *centre*
+lying inside it, so queries are expanded by the maximum object extent
+before Z-encoding (the standard trick when forcing spatial data into a
+one-dimensional index); results are post-filtered by true intersection.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.btree.btree import BPlusTree, BTreeConfig, BTreeError
+from repro.btree.krl import KeyRangeLockManager
+from repro.btree.zorder import DEFAULT_BITS, z_encode_rect, z_range_for_rect
+from repro.concurrency.history import History, OpKind
+from repro.core.index import DeleteResult, InsertResult, OpResult, ScanResult, SingleResult
+from repro.geometry import Rect
+from repro.lock.manager import DeadlockError, LockManager
+from repro.lock.modes import LockDuration, LockMode
+from repro.rtree.entry import ObjectId
+from repro.txn import Transaction, TransactionAborted, TransactionManager
+from repro.workloads.datasets import UNIT
+
+
+class ZOrderScanResult(ScanResult):
+    """Scan result extended with the §2 overhead metrics."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: entries read (and locked) whose rectangle misses the predicate
+        self.false_locked = 0
+        #: entries read from the Z-interval in total
+        self.interval_entries = 0
+
+
+class ZOrderKRLIndex:
+    """Transactional spatial index over a Z-ordered B+-tree with KRL."""
+
+    name = "zorder-krl"
+
+    def __init__(
+        self,
+        universe: Rect = UNIT,
+        btree_config: Optional[BTreeConfig] = None,
+        bits: int = DEFAULT_BITS,
+        max_object_extent: float = 0.05,
+        lock_manager: Optional[LockManager] = None,
+        txn_manager: Optional[TransactionManager] = None,
+        history: Optional[History] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.universe = universe
+        self.bits = bits
+        self.max_object_extent = max_object_extent
+        self.tree = BPlusTree(btree_config)
+        self.lock_manager = lock_manager if lock_manager is not None else LockManager()
+        self.txn_manager = (
+            txn_manager if txn_manager is not None else TransactionManager(self.lock_manager)
+        )
+        self.krl = KeyRangeLockManager(self.lock_manager, self.tree)
+        self.history = history
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.payloads: Dict[ObjectId, Any] = {}
+        #: oid -> (z key, rect); rect kept for post-filtering and undo
+        self._directory: Dict[ObjectId, tuple] = {}
+        self.latch = threading.RLock()
+
+    @property
+    def stats(self):
+        return self.tree.pager.stats
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self, name: Optional[str] = None) -> Transaction:
+        txn = self.txn_manager.begin(name)
+        self._record(txn, OpKind.BEGIN)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        self.txn_manager.commit(txn)
+        self._record(txn, OpKind.COMMIT)
+
+    def abort(self, txn: Transaction, reason: str = "explicit abort") -> None:
+        self.txn_manager.abort(txn, reason)
+        self._record(txn, OpKind.ABORT)
+
+    @contextmanager
+    def transaction(self, name: Optional[str] = None) -> Iterator[Transaction]:
+        txn = self.begin(name)
+        try:
+            yield txn
+        except BaseException:
+            if txn.is_active:
+                self.abort(txn, "exception in transaction body")
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    @contextmanager
+    def _operation(self, txn: Transaction, result: OpResult) -> Iterator[None]:
+        if not txn.is_active:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason or "not active")
+        before_locks = self.krl.range_locks
+        before_waits = self.lock_manager.wait_count
+        before_reads = self.stats.physical_reads
+        try:
+            yield None
+        except DeadlockError as exc:
+            self.txn_manager.abort(txn, f"deadlock victim: {exc}")
+            self._record(txn, OpKind.ABORT)
+            raise TransactionAborted(txn.txn_id, f"deadlock victim: {exc}")
+        finally:
+            result.lock_waits = self.lock_manager.wait_count - before_waits
+            result.physical_reads = self.stats.physical_reads - before_reads
+            result.locks_taken = [None] * (self.krl.range_locks - before_locks)  # type: ignore[list-item]
+            if txn.is_active:
+                self.lock_manager.end_operation(txn.txn_id)
+
+    # -- lock choreography (conditional under the latch, wait outside,
+    #    recompute: the key set may move while a transaction sleeps) ------
+
+    def _acquire_endpoints(self, txn: Transaction, wants, acquired: set) -> Optional[tuple]:
+        """Conditionally lock (endpoint, mode, duration) triples; return
+        the first blocker (caller must wait outside the latch and retry).
+        ``acquired`` dedups across retries so lock counts stay honest."""
+        for want in wants:
+            if want in acquired:
+                continue
+            endpoint, mode, duration = want
+            if self.krl.acquire(txn.txn_id, endpoint, mode, duration, conditional=True):
+                acquired.add(want)
+            else:
+                return want
+        return None
+
+    def _wait_endpoint(self, txn: Transaction, blocked, acquired: set) -> None:
+        endpoint, mode, duration = blocked
+        self.krl.acquire(txn.txn_id, endpoint, mode, duration)
+        acquired.add(blocked)
+
+    def _lock_scan_interval(self, txn: Transaction, z_lo: int, z_hi: int) -> None:
+        """Commit S on every range endpoint covering [z_lo, z_hi], with
+        the revalidate loop (endpoints recomputed after every wait)."""
+        acquired: set = set()
+        while True:
+            with self.latch:
+                wants = [
+                    (ep, LockMode.S, LockDuration.COMMIT)
+                    for ep in self.krl.scan_endpoints(z_lo, z_hi)
+                ]
+                blocked = self._acquire_endpoints(txn, wants, acquired)
+                if blocked is None:
+                    return
+            self._wait_endpoint(txn, blocked, acquired)
+
+    # -- operations ------------------------------------------------------------
+
+    def insert(self, txn: Transaction, oid: ObjectId, rect: Rect, payload: Any = None) -> InsertResult:
+        result = InsertResult()
+        with self._operation(txn, result):
+            key = z_encode_rect(rect, self.universe, self.bits)
+            acquired: set = set()
+            while True:
+                with self.latch:
+                    if oid in self._directory:
+                        raise BTreeError(f"duplicate object id {oid!r}")
+                    # next-key locking: short X on the gap owner, commit X
+                    # on the new entry's own range
+                    wants = [
+                        (self.krl.next_endpoint(key, oid), LockMode.X, LockDuration.SHORT),
+                        ((key, oid), LockMode.X, LockDuration.COMMIT),
+                    ]
+                    blocked = self._acquire_endpoints(txn, wants, acquired)
+                    if blocked is None:
+                        self.tree.insert(key, oid, rect)
+                        self._directory[oid] = (key, rect)
+                        break
+                self._wait_endpoint(txn, blocked, acquired)
+            self.payloads[oid] = payload
+            txn.log_undo(lambda: self._undo_insert(oid))
+            txn.writes += 1
+            self._record(txn, OpKind.INSERT, oid=oid, rect=rect)
+        return result
+
+    def delete(self, txn: Transaction, oid: ObjectId, rect: Rect) -> DeleteResult:
+        result = DeleteResult()
+        with self._operation(txn, result):
+            acquired: set = set()
+            while True:
+                with self.latch:
+                    stored = self._directory.get(oid)
+                    if stored is None:
+                        break
+                    key, stored_rect = stored
+                    # the deleted key's gap merges into the next range:
+                    # commit X on both, so scans of the gap wait us out
+                    wants = [
+                        ((key, oid), LockMode.X, LockDuration.COMMIT),
+                        (self.krl.next_endpoint(key, oid), LockMode.X, LockDuration.COMMIT),
+                    ]
+                    blocked = self._acquire_endpoints(txn, wants, acquired)
+                    if blocked is None:
+                        self.tree.delete(key, oid)
+                        del self._directory[oid]
+                        result.found = True
+                        break
+                self._wait_endpoint(txn, blocked, acquired)
+            if not result.found:
+                # absent object: cover the spot it would occupy, KRL-style
+                key = z_encode_rect(rect, self.universe, self.bits)
+                self._lock_scan_interval(txn, key, key)
+                return result
+            old_payload = self.payloads.pop(oid, None)
+            txn.log_undo(lambda: self._undo_delete(oid, key, stored_rect, old_payload))
+            txn.writes += 1
+            self._record(txn, OpKind.DELETE, oid=oid, rect=stored_rect)
+        return result
+
+    def read_single(self, txn: Transaction, oid: ObjectId, rect: Rect) -> SingleResult:
+        result = SingleResult()
+        with self._operation(txn, result):
+            stored = self._directory.get(oid)
+            if stored is not None:
+                key, stored_rect = stored
+                self.krl.lock_read(txn.txn_id, key, oid)
+                result.found = True
+                result.rect = stored_rect
+                result.payload = self.payloads.get(oid)
+            txn.reads += 1
+            self._record(
+                txn, OpKind.READ_SINGLE, oid=oid, rect=rect,
+                result=(oid,) if result.found else (),
+            )
+        return result
+
+    def read_scan(self, txn: Transaction, predicate: Rect) -> ZOrderScanResult:
+        result = ZOrderScanResult()
+        with self._operation(txn, result):
+            expanded = predicate.expanded(self.max_object_extent)
+            z_lo, z_hi = z_range_for_rect(expanded, self.universe, self.bits)
+            # lock the *entire* Z-interval: this is the §2 overhead
+            self._lock_scan_interval(txn, z_lo, z_hi)
+            with self.latch:
+                entries = self.tree.range_scan(z_lo, z_hi)
+            for _key, oid, rect in entries:
+                result.interval_entries += 1
+                if rect.intersects(predicate):
+                    result.matches.append((oid, rect, self.payloads.get(oid)))
+                else:
+                    result.false_locked += 1
+            txn.reads += 1
+            self._record(txn, OpKind.READ_SCAN, rect=predicate, result=result.oids)
+        return result
+
+    def update_single(self, txn: Transaction, oid: ObjectId, rect: Rect, payload: Any) -> SingleResult:
+        result = SingleResult()
+        with self._operation(txn, result):
+            stored = self._directory.get(oid)
+            if stored is not None:
+                key, stored_rect = stored
+                # payload-only change: X on the entry's own range suffices
+                # (no range merges or splits)
+                self.krl.acquire(txn.txn_id, (key, oid), LockMode.X, LockDuration.COMMIT)
+                old = self.payloads.get(oid)
+                self.payloads[oid] = payload
+                txn.log_undo(lambda: self.payloads.__setitem__(oid, old))
+                result.found = True
+                result.rect = stored_rect
+                result.payload = payload
+                txn.writes += 1
+            self._record(
+                txn, OpKind.UPDATE_SINGLE, oid=oid, rect=rect,
+                result=(oid,) if result.found else (),
+            )
+        return result
+
+    def update_scan(self, txn: Transaction, predicate: Rect, update) -> ZOrderScanResult:
+        result = self.read_scan(txn, predicate)
+        with self._operation(txn, OpResult()):
+            for i, (oid, rect, old) in enumerate(result.matches):
+                key, _r = self._directory[oid]
+                self.krl.acquire(txn.txn_id, (key, oid), LockMode.X, LockDuration.COMMIT)
+                new = update(oid, rect, old)
+                self.payloads[oid] = new
+                txn.log_undo(lambda oid=oid, value=old: self.payloads.__setitem__(oid, value))
+                result.matches[i] = (oid, rect, new)
+            self._record(txn, OpKind.UPDATE_SCAN, rect=predicate, result=result.oids)
+        return result
+
+    def vacuum(self, limit: Optional[int] = None) -> int:
+        return 0
+
+    # -- undo ------------------------------------------------------------------
+
+    def _undo_insert(self, oid: ObjectId) -> None:
+        stored = self._directory.pop(oid, None)
+        if stored is not None:
+            with self.latch:
+                self.tree.delete(stored[0], oid)
+        self.payloads.pop(oid, None)
+
+    def _undo_delete(self, oid: ObjectId, key: int, rect: Rect, payload: Any) -> None:
+        with self.latch:
+            self.tree.insert(key, oid, rect)
+        self._directory[oid] = (key, rect)
+        self.payloads[oid] = payload
+
+    def _record(self, txn: Transaction, kind: OpKind, **kw: Any) -> None:
+        if self.history is not None:
+            self.history.record(txn.txn_id, kind, sim_time=self._clock(), **kw)
+
+    def __repr__(self) -> str:
+        return f"ZOrderKRLIndex(size={len(self.tree)}, bits={self.bits})"

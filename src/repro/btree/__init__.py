@@ -1,0 +1,41 @@
+"""A B+-tree with key-range locking, plus Z-order encoding.
+
+This package exists to reproduce the paper's §2 argument *against* the
+obvious alternative to its protocol: "Imposing an artificial total order
+(say a Z-order) over multidimensional data to adapt the key range idea
+for phantom protection is unnatural and will result in a scheme with a
+high lock overhead and a low degree of concurrency … an object will be
+accessed as long as it is within the upper and the lower bounds in the
+region according to the superimposed total order."
+
+Pieces:
+
+* :mod:`repro.btree.zorder` -- Morton (Z-order) encoding of points and
+  rectangles to one-dimensional keys;
+* :mod:`repro.btree.btree` -- a page-based B+-tree over integer keys with
+  the same I/O accounting as the R-tree;
+* :mod:`repro.btree.krl` -- key-range locking (KRL): the semi-open ranges
+  between adjacent keys are the lockable granules; scans lock every range
+  overlapping the key interval, inserts take the classic next-key lock.
+
+The complete phantom-safe-but-inefficient index built from these lives in
+:class:`repro.baselines.zorder_krl.ZOrderKRLIndex`.
+"""
+
+from repro.btree.btree import BPlusTree, BTreeConfig
+from repro.btree.zorder import interleave, deinterleave, z_encode_point, z_range_for_rect
+from repro.btree.hilbert import h_encode_point, h_range_for_rect, hilbert_index
+from repro.btree.krl import KeyRangeLockManager
+
+__all__ = [
+    "BPlusTree",
+    "BTreeConfig",
+    "interleave",
+    "deinterleave",
+    "z_encode_point",
+    "z_range_for_rect",
+    "h_encode_point",
+    "h_range_for_rect",
+    "hilbert_index",
+    "KeyRangeLockManager",
+]

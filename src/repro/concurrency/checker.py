@@ -1,0 +1,242 @@
+"""Correctness oracles over histories.
+
+Two independent checks:
+
+:func:`find_phantoms`
+    The paper's anomaly, directly: for every committed transaction ``T``
+    and every scan it ran, (a) the scan's result must equal the committed
+    state visible at the scan (no dirty reads of later-aborted inserts, no
+    missed objects from uncommitted deletes), and (b) no *other*
+    transaction may commit an insert or delete overlapping the scanned
+    predicate between the scan and ``T``'s commit -- if one does, repeating
+    the scan would show an object appearing from nowhere (or vanishing),
+    which is exactly the phantom.
+
+:func:`check_conflict_serializable`
+    Classic conflict-graph serializability with predicate-aware conflicts
+    (a scan of predicate ``P`` conflicts with any insert/delete of an
+    object overlapping ``P``).  Strict 2PL plus correct phantom protection
+    must yield an acyclic graph; the object-lock baseline does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.concurrency.history import History, Op, OpKind
+from repro.geometry import Rect
+
+_WRITE_KINDS = (OpKind.INSERT, OpKind.DELETE)
+_SCAN_KINDS = (OpKind.READ_SCAN, OpKind.UPDATE_SCAN)
+
+
+@dataclass(frozen=True)
+class PhantomReport:
+    """One detected anomaly."""
+
+    kind: str  # "instability" | "mismatch" | "single-instability"
+    reader: Hashable
+    scan_seq: int
+    predicate: Optional[Rect]
+    detail: str
+
+
+class SerializabilityViolation(AssertionError):
+    def __init__(self, cycle: List[Hashable]) -> None:
+        super().__init__(f"conflict graph has a cycle: {' -> '.join(map(str, cycle))}")
+        self.cycle = cycle
+
+
+def _committed_writes(history: History) -> List[Tuple[int, Hashable, Op]]:
+    """(commit_seq, txn, write op) for every write of a committed txn."""
+    commit_seqs: Dict[Hashable, int] = {}
+    for op in history.ops:
+        if op.kind is OpKind.COMMIT:
+            commit_seqs[op.txn] = op.seq
+    out = []
+    for op in history.ops:
+        if op.kind in _WRITE_KINDS and op.txn in commit_seqs:
+            out.append((commit_seqs[op.txn], op.txn, op))
+    return out
+
+
+def _state_at(
+    history: History,
+    writes: List[Tuple[int, Hashable, Op]],
+    reader: Hashable,
+    scan: Op,
+) -> Dict[Hashable, Rect]:
+    """Committed state visible to ``scan``: the initial database, plus the
+    effects of other transactions that committed before the scan, plus the
+    reader's own earlier writes (committed or not -- it sees itself)."""
+    state: Dict[Hashable, Rect] = dict(history.initial)
+    events: List[Tuple[int, Op]] = []
+    for commit_seq, txn, op in writes:
+        if txn != reader and commit_seq < scan.seq:
+            events.append((op.seq, op))
+    for op in history.ops:
+        if op.txn == reader and op.kind in _WRITE_KINDS and op.seq < scan.seq:
+            events.append((op.seq, op))
+    for _seq, op in sorted(events):
+        if op.kind is OpKind.INSERT:
+            assert op.rect is not None
+            state[op.oid] = op.rect
+        else:
+            state.pop(op.oid, None)
+    return state
+
+
+def find_phantoms(history: History) -> List[PhantomReport]:
+    """All phantom / visibility anomalies in the history."""
+    reports: List[PhantomReport] = []
+    writes = _committed_writes(history)
+    commit_seqs: Dict[Hashable, int] = {}
+    for op in history.ops:
+        if op.kind is OpKind.COMMIT:
+            commit_seqs[op.txn] = op.seq
+
+    for reader, commit_seq in commit_seqs.items():
+        for scan in history.ops:
+            if scan.txn != reader:
+                continue
+            if scan.kind in _SCAN_KINDS:
+                assert scan.rect is not None
+                # (a) visibility: result == committed-visible state ∩ P
+                state = _state_at(history, writes, reader, scan)
+                expected = {oid for oid, rect in state.items() if rect.intersects(scan.rect)}
+                got = set(scan.result)
+                if got != expected:
+                    missing = expected - got
+                    extra = got - expected
+                    reports.append(
+                        PhantomReport(
+                            kind="mismatch",
+                            reader=reader,
+                            scan_seq=scan.seq,
+                            predicate=scan.rect,
+                            detail=f"missing={sorted(map(str, missing))} extra={sorted(map(str, extra))}",
+                        )
+                    )
+                # (b) stability: nobody commits an overlapping write
+                # between the scan and the reader's commit.
+                for other_commit, other, op in writes:
+                    if other == reader:
+                        continue
+                    if scan.seq < other_commit < commit_seq:
+                        assert op.rect is not None
+                        if op.rect.intersects(scan.rect):
+                            reports.append(
+                                PhantomReport(
+                                    kind="instability",
+                                    reader=reader,
+                                    scan_seq=scan.seq,
+                                    predicate=scan.rect,
+                                    detail=(
+                                        f"{other!r} committed {op.kind.value} of {op.oid!r} "
+                                        f"overlapping the predicate before {reader!r} committed"
+                                    ),
+                                )
+                            )
+            elif scan.kind is OpKind.READ_SINGLE and scan.result:
+                # A found object must stay readable until the reader commits.
+                for other_commit, other, op in writes:
+                    if other == reader:
+                        continue
+                    if op.oid in scan.result and scan.seq < other_commit < commit_seq:
+                        reports.append(
+                            PhantomReport(
+                                kind="single-instability",
+                                reader=reader,
+                                scan_seq=scan.seq,
+                                predicate=scan.rect,
+                                detail=f"{other!r} committed {op.kind.value} of {op.oid!r} under an active reader",
+                            )
+                        )
+    return reports
+
+
+def _ops_conflict(a: Op, b: Op) -> bool:
+    """Do two operations of different transactions conflict?"""
+    a_scan = a.kind in _SCAN_KINDS
+    b_scan = b.kind in _SCAN_KINDS
+    a_write = a.kind in (OpKind.INSERT, OpKind.DELETE, OpKind.UPDATE_SINGLE, OpKind.UPDATE_SCAN)
+    b_write = b.kind in (OpKind.INSERT, OpKind.DELETE, OpKind.UPDATE_SINGLE, OpKind.UPDATE_SCAN)
+    if not (a_write or b_write):
+        return False
+
+    def touches(scan: Op, other: Op) -> bool:
+        if other.kind in _WRITE_KINDS:
+            assert scan.rect is not None and other.rect is not None
+            return other.rect.intersects(scan.rect)
+        # payload updates conflict when they touch an object the scan saw
+        # or (for update-scans) objects in the updated predicate
+        if other.kind is OpKind.UPDATE_SINGLE:
+            return other.oid in scan.result
+        if other.kind is OpKind.UPDATE_SCAN and other.rect is not None and scan.rect is not None:
+            return other.rect.intersects(scan.rect)
+        return False
+
+    if a_scan and b_write:
+        return touches(a, b)
+    if b_scan and a_write:
+        return touches(b, a)
+    if a.kind is OpKind.READ_SINGLE and b_write:
+        return a.oid == b.oid or a.oid in ((b.result) or ())
+    if b.kind is OpKind.READ_SINGLE and a_write:
+        return b.oid == a.oid or b.oid in ((a.result) or ())
+    if a_write and b_write:
+        if a.oid is not None and a.oid == b.oid:
+            return True
+        # update-scan writes every object in its result
+        if a.kind is OpKind.UPDATE_SCAN and b.oid in a.result:
+            return True
+        if b.kind is OpKind.UPDATE_SCAN and a.oid in b.result:
+            return True
+    return False
+
+
+def build_conflict_graph(history: History) -> Dict[Hashable, Set[Hashable]]:
+    """Edges T -> T' when an op of T precedes a conflicting op of T'.
+
+    Only committed transactions participate (aborted transactions' effects
+    are undone and create no dependencies under strict 2PL)."""
+    committed = set(history.committed_txns())
+    ops = [
+        op
+        for op in history.ops
+        if op.txn in committed
+        and op.kind not in (OpKind.BEGIN, OpKind.COMMIT, OpKind.ABORT)
+    ]
+    graph: Dict[Hashable, Set[Hashable]] = {txn: set() for txn in committed}
+    for i, a in enumerate(ops):
+        for b in ops[i + 1 :]:
+            if a.txn == b.txn:
+                continue
+            if _ops_conflict(a, b):
+                graph[a.txn].add(b.txn)
+    return graph
+
+
+def check_conflict_serializable(history: History) -> None:
+    """Raise :class:`SerializabilityViolation` when the graph has a cycle."""
+    graph = build_conflict_graph(history)
+    state: Dict[Hashable, int] = {}
+    WHITE, GREY, BLACK = 0, 1, 2
+
+    def visit(node: Hashable, trail: List[Hashable]) -> None:
+        state[node] = GREY
+        trail.append(node)
+        for nxt in graph.get(node, ()):
+            mark = state.get(nxt, WHITE)
+            if mark == GREY:
+                cycle = trail[trail.index(nxt) :] + [nxt]
+                raise SerializabilityViolation(cycle)
+            if mark == WHITE:
+                visit(nxt, trail)
+        trail.pop()
+        state[node] = BLACK
+
+    for node in graph:
+        if state.get(node, WHITE) == WHITE:
+            visit(node, [])

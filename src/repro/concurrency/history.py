@@ -1,0 +1,113 @@
+"""Operation histories.
+
+Every transactional index operation appends one :class:`Op` to the shared
+:class:`History`.  The checkers in :mod:`repro.concurrency.checker` work
+from histories alone, so any index implementation (the DGL index or a
+baseline) that records faithfully can be checked for phantoms and for
+conflict serializability.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.geometry import Rect
+
+TxnKey = Hashable
+
+
+class OpKind(enum.Enum):
+    """The recorded operation kinds."""
+
+    BEGIN = "begin"
+    INSERT = "insert"
+    DELETE = "delete"
+    READ_SINGLE = "read_single"
+    READ_SCAN = "read_scan"
+    UPDATE_SINGLE = "update_single"
+    UPDATE_SCAN = "update_scan"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Op:
+    """One recorded operation (``seq`` is a global total order)."""
+
+    seq: int
+    sim_time: float
+    txn: TxnKey
+    kind: OpKind
+    #: object id for single-object ops
+    oid: Optional[Hashable] = None
+    #: object rect for single-object ops, predicate rect for scans
+    rect: Optional[Rect] = None
+    #: result oids for scans / single reads
+    result: Tuple[Hashable, ...] = ()
+
+
+class History:
+    """An append-only, thread-safe log of operations."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._seq = itertools.count()
+        self.ops: List[Op] = []
+        #: initial database contents (treated as committed at seq -1)
+        self.initial: Dict[Hashable, Rect] = {}
+
+    def preload(self, objects: Dict[Hashable, Rect]) -> None:
+        """Declare objects that existed before the run started."""
+        self.initial.update(objects)
+
+    def record(
+        self,
+        txn: TxnKey,
+        kind: OpKind,
+        oid: Optional[Hashable] = None,
+        rect: Optional[Rect] = None,
+        result: Tuple[Hashable, ...] = (),
+        sim_time: float = 0.0,
+    ) -> Op:
+        """Append one operation and return it (sequence numbers are global)."""
+        with self._mutex:
+            op = Op(next(self._seq), sim_time, txn, kind, oid, rect, tuple(result))
+            self.ops.append(op)
+            return op
+
+    # -- derived views ----------------------------------------------------
+
+    def by_txn(self) -> Dict[TxnKey, List[Op]]:
+        out: Dict[TxnKey, List[Op]] = {}
+        for op in self.ops:
+            out.setdefault(op.txn, []).append(op)
+        return out
+
+    def committed_txns(self) -> List[TxnKey]:
+        """Transactions that committed, in commit order."""
+        return [op.txn for op in self.ops if op.kind is OpKind.COMMIT]
+
+    def outcome(self, txn: TxnKey) -> Optional[OpKind]:
+        for op in reversed(self.ops):
+            if op.txn == txn and op.kind in (OpKind.COMMIT, OpKind.ABORT):
+                return op.kind
+        return None
+
+    def commit_seq(self, txn: TxnKey) -> Optional[int]:
+        for op in self.ops:
+            if op.txn == txn and op.kind is OpKind.COMMIT:
+                return op.seq
+        return None
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"History({len(self.ops)} ops, {len(self.committed_txns())} commits)"

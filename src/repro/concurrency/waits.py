@@ -1,0 +1,42 @@
+"""Lock-manager wait strategy backed by the simulator.
+
+When a simulated transaction must wait for a lock, its process parks in
+the simulator (giving the baton back to the scheduler) instead of blocking
+on a condition variable.  The grant -- which always happens on some other
+simulated process's thread, inside the lock-manager mutex -- wakes it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.concurrency.simulator import Simulator
+from repro.lock.manager import LockManager, LockRequest, RequestStatus, WaitStrategy
+
+
+class SimulatedWait(WaitStrategy):
+    """Park the simulated process until the request is decided."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._waiters: dict = {}
+
+    def wait(self, manager: LockManager, request: LockRequest, timeout: Optional[float]) -> None:
+        # Called with the manager mutex held by this (baton-holding)
+        # thread.  Release it while parked so the process that will grant
+        # the lock can get in; the baton discipline guarantees nobody else
+        # touches the manager while we are actually running.
+        proc = self.sim.current()
+        self._waiters[id(request)] = proc
+        while request.status is RequestStatus.WAITING:
+            manager._mutex.release()
+            try:
+                self.sim.block()
+            finally:
+                manager._mutex.acquire()
+        self._waiters.pop(id(request), None)
+
+    def notify(self, manager: LockManager, request: LockRequest) -> None:
+        proc = self._waiters.get(id(request))
+        if proc is not None:
+            self.sim.wake(proc)

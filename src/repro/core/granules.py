@@ -1,0 +1,203 @@
+"""The lockable granules (paper §3.1).
+
+Two granule kinds partition the embedded space ``S``:
+
+* **leaf granules** -- one per leaf node: the lowest-level bounding
+  rectangle, locked by the leaf's page id;
+* **external granules** -- one per non-leaf node ``T``: ``T_s`` minus the
+  union of ``T``'s children's rectangles, locked by ``T``'s page id.
+  ``T_s`` is the space covered by ``T`` -- its own bounding rectangle,
+  except for the root where ``T_s`` is the whole embedded space ``S``.
+
+Together they cover ``S`` (tested by :meth:`GranuleSet.coverage_leftover`),
+they adapt to the data distribution as the tree changes, and any scan
+predicate maps to a small set of purely physical lock names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.geometry import Rect, Region
+from repro.lock.resource import ResourceId
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.storage.page import PageId
+
+Predicate = Union[Rect, Region]
+
+
+def _predicate_parts(predicate: Predicate) -> Sequence[Rect]:
+    return (predicate,) if isinstance(predicate, Rect) else predicate.parts
+
+
+@dataclass(frozen=True)
+class GranuleRef:
+    """One granule: its lock name plus enough geometry for cover tests."""
+
+    resource: ResourceId
+    is_leaf: bool
+    page_id: PageId
+
+
+class GranuleSet:
+    """Geometric queries over the current granules of one R-tree.
+
+    All traversals count I/O through the tree's pager, because lock
+    acquisition traffic is exactly the overhead the paper measures.
+    """
+
+    def __init__(self, tree: RTree) -> None:
+        self.tree = tree
+
+    # ------------------------------------------------------------------
+    # geometry of individual granules
+    # ------------------------------------------------------------------
+
+    def node_space(self, node: Node) -> Optional[Rect]:
+        """``T_s``: the node's covered space (the universe for the root)."""
+        if node.page_id == self.tree.root_id:
+            return self.tree.config.universe
+        return node.mbr()
+
+    def external_region(self, node: Node) -> Region:
+        """The external granule of a non-leaf node: ``T_s − ⋃ children``."""
+        assert not node.is_leaf
+        space = self.node_space(node)
+        if space is None:
+            return Region()
+        return Region.difference(space, node.child_rects())
+
+    # ------------------------------------------------------------------
+    # predicate -> granules
+    # ------------------------------------------------------------------
+
+    def overlapping(self, predicate: Predicate) -> List[GranuleRef]:
+        """Every granule whose space overlaps the predicate.
+
+        Leaf granules by closed-box overlap against their MBR; external
+        granules by positive-measure overlap against their region.  (A
+        predicate that merely touches leftover space between granules is
+        already protected by the closed leaf boxes on either side.)
+        """
+        refs: List[GranuleRef] = []
+        parts = _predicate_parts(predicate)
+        if not parts:
+            return refs
+        root = self.tree.root()
+        if root.is_leaf:
+            # Degenerate single-node tree: the lone leaf granule is the
+            # whole embedded space for locking purposes (there is no
+            # non-leaf node to own an external granule).
+            refs.append(GranuleRef(ResourceId.leaf(root.page_id), True, root.page_id))
+            return refs
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            ext = self.external_region(node)
+            if any(ext.intersects_open(p) or ext_touches_degenerate(ext, p) for p in parts):
+                refs.append(GranuleRef(ResourceId.ext(node.page_id), False, node.page_id))
+            for entry in node.entries:
+                if not any(entry.rect.intersects(p) for p in parts):
+                    continue
+                if node.level == 1:
+                    refs.append(
+                        GranuleRef(ResourceId.leaf(entry.child_id), True, entry.child_id)  # type: ignore[union-attr]
+                    )
+                else:
+                    stack.append(self.tree.node(entry.child_id))  # type: ignore[union-attr]
+        return refs
+
+    def overlapping_resources(self, predicate: Predicate) -> List[ResourceId]:
+        return [ref.resource for ref in self.overlapping(predicate)]
+
+    def covering(self, predicate: Rect) -> Tuple[List[GranuleRef], List[GranuleRef]]:
+        """Split the overlapping granules into a greedy *covering set* and
+        the remainder.
+
+        The covering set's union contains the predicate (used by
+        UpdateScan: SIX on the cover, S on the rest).  Greedy choice:
+        granules in decreasing overlap-area order until the predicate is
+        exhausted.  This is the natural approximation of the paper's
+        "minimal set of granules sufficient to fully cover the predicate"
+        (exact minimality is set-cover, and nothing in the protocol's
+        correctness depends on it).
+        """
+        refs = self.overlapping(predicate)
+        pieces: List[Tuple[float, GranuleRef, Sequence[Rect]]] = []
+        for ref in refs:
+            node = self.tree.node(ref.page_id, count_io=False)
+            if ref.is_leaf:
+                mbr = node.mbr()
+                geometry: Sequence[Rect] = (mbr,) if mbr is not None else ()
+            else:
+                geometry = self.external_region(node).parts
+            clipped = [r for r in (g.intersection(predicate) for g in geometry) if r is not None]
+            area = sum(c.area() for c in clipped)
+            pieces.append((area, ref, geometry))
+
+        remaining = Region.from_rect(predicate)
+        cover: List[GranuleRef] = []
+        rest: List[GranuleRef] = []
+        for _area, ref, geometry in sorted(pieces, key=lambda p: -p[0]):
+            if remaining.is_empty():
+                rest.append(ref)
+                continue
+            before = remaining.area()
+            remaining = remaining.subtract(geometry)
+            if remaining.area() < before or remaining.is_empty():
+                cover.append(ref)
+            else:
+                rest.append(ref)
+        return cover, rest
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def coverage_leftover(self) -> Region:
+        """Universe minus every granule; empty iff the granules cover ``S``.
+
+        This is the paper's central geometric claim: the lowest-level BRs
+        plus the external granules of all non-leaf nodes tile the embedded
+        space.
+        """
+        region = Region.from_rect(self.tree.config.universe)
+        root = self.tree.pager.peek(self.tree.root_id).payload
+        if root.is_leaf:
+            # Degenerate single-node tree: the lone leaf granule stands for
+            # the whole embedded space (mirrors :meth:`overlapping`).
+            return Region()
+        for node in self.tree.iter_nodes():
+            if node.is_leaf:
+                mbr = node.mbr()
+                if mbr is not None:
+                    region = region.subtract([mbr])
+            else:
+                region = region.subtract(self.external_region(node).parts)
+            if region.is_empty():
+                break
+        return region
+
+    def granule_count(self) -> Tuple[int, int]:
+        """(leaf granules, external granules) currently in the tree."""
+        leaves = 0
+        exts = 0
+        for node in self.tree.iter_nodes():
+            if node.is_leaf:
+                leaves += 1
+            else:
+                exts += 1
+        return leaves, exts
+
+
+def ext_touches_degenerate(ext: Region, predicate: Rect) -> bool:
+    """Closed overlap fallback for measure-zero predicates (point queries).
+
+    A degenerate predicate has no interior, so the positive-measure test
+    can never pass; fall back to closed-box contact in that case.
+    """
+    if not predicate.is_degenerate():
+        return False
+    return ext.intersects(predicate)

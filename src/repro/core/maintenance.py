@@ -1,0 +1,73 @@
+"""Deferred physical deletion (paper §3.6--§3.7).
+
+Deletes are performed *logically*: the deleting transaction only
+tombstones the object (so its rollback is trivial and granules never
+shrink under concurrent transactions).  When the deleter commits, the
+``(oid, rect)`` pair lands on this queue; :meth:`DeferredDeleteQueue.run`
+later removes each entry physically inside its own small system
+transaction, taking the "Delete (Deferred)" locks of Table 3.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, TYPE_CHECKING
+
+from repro.geometry import Rect
+from repro.rtree.entry import ObjectId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.index import PhantomProtectedRTree
+
+
+@dataclass(frozen=True)
+class DeferredDelete:
+    oid: ObjectId
+    rect: Rect
+
+
+class DeferredDeleteQueue:
+    """Pending physical deletions, processed by a maintenance pass."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._pending: Deque[DeferredDelete] = deque()
+        self.processed = 0
+
+    def enqueue(self, oid: ObjectId, rect: Rect) -> None:
+        with self._mutex:
+            self._pending.append(DeferredDelete(oid, rect))
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._pending)
+
+    def pop(self) -> Optional[DeferredDelete]:
+        with self._mutex:
+            return self._pending.popleft() if self._pending else None
+
+    def run(self, index: "PhantomProtectedRTree", limit: Optional[int] = None) -> int:
+        """Physically delete up to ``limit`` pending tombstones.
+
+        Each removal runs as its own system transaction so its short locks
+        (and the X lock on the vanishing object) are scoped tightly;
+        a removal that deadlocks is re-queued rather than lost.
+        """
+        done = 0
+        requeue: List[DeferredDelete] = []
+        while limit is None or done < limit:
+            item = self.pop()
+            if item is None:
+                break
+            try:
+                index.run_deferred_delete(item.oid, item.rect)
+            except Exception:
+                requeue.append(item)
+            else:
+                done += 1
+                self.processed += 1
+        with self._mutex:
+            self._pending.extend(requeue)
+        return done

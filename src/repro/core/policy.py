@@ -1,0 +1,47 @@
+"""Insertion policies (paper §3.3--§3.4).
+
+The base protocol (§3.3) makes *every* inserter follow all paths
+overlapping the inserted object and take short-duration IX locks on every
+overlapping granule, so that an insert into a region some searcher lost
+coverage over (because a neighbouring granule grew into it) waits for that
+searcher.  §3.4 observes this is only needed when granule boundaries
+actually move, and shifts the cost onto the boundary-changing inserter.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class InsertionPolicy(enum.Enum):
+    #: INTENTIONALLY UNSOUND -- the naive cover-for-insert strategy of
+    #: §3.2 (commit IX on the covering granule + X on the object, nothing
+    #: else).  Exists to reproduce the paper's Figure 2/3 counterexamples:
+    #: under this policy the phantom checker *does* find anomalies.
+    NAIVE = "naive"
+    #: §3.3 base protocol: every inserter short-IX-locks all granules
+    #: overlapping the inserted object.
+    ALL_PATHS = "all_paths"
+    #: §3.4 modified policy: only an inserter that grows (or splits) a
+    #: granule short-IX-locks the granules overlapping the region the
+    #: granule grew into; non-boundary-changing inserts take one IX + one X.
+    ON_GROWTH = "on_growth"
+    #: §3.4 further optimisation: the growth-time locks are only taken on
+    #: granules that actually have a conflicting (S/SIX) holder -- paths
+    #: with no active searcher are not traversed.
+    ON_GROWTH_ACTIVE_SEARCHERS = "on_growth_active_searchers"
+
+    @property
+    def is_modified(self) -> bool:
+        return self in (
+            InsertionPolicy.ON_GROWTH,
+            InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS,
+        )
+
+    @property
+    def is_sound(self) -> bool:
+        """False only for :attr:`NAIVE`, which exists to exhibit phantoms."""
+        return self is not InsertionPolicy.NAIVE
+
+    def __repr__(self) -> str:
+        return self.value

@@ -1,0 +1,581 @@
+"""The dynamic granular locking protocol (paper §3.3--§3.8, Table 3).
+
+Each operation follows the same skeleton:
+
+1. **Plan** (under the structure latch): traverse the tree read-only,
+   compute which granules the operation touches and -- for writers --
+   which granules it would grow, shrink or split.
+2. **Lock**: request every lock of Table 3 *conditionally*.  On the first
+   one that would block, drop the latch, wait *unconditionally* (this is
+   where deadlock detection may abort us), then restart from step 1 --
+   the tree may have moved while we slept.  Locks already granted are
+   kept: commit-duration ones are needed or harmless, short-duration ones
+   die with the operation.
+3. **Apply**: perform the structure modification atomically (latch held;
+   in the simulator there is additionally no context switch here).
+4. **Post-locks**: the locks Table 3 prescribes *after* a split or growth
+   (IX on the split halves, inherited S locks).  These can block only on
+   transactions that were already active inside the granule, so they are
+   taken unconditionally outside the latch.
+
+The latch models the physical-consistency protocol the paper assumes from
+its reference [12]: it keeps structure modifications atomic; it is never
+held across a lock wait.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.granules import GranuleRef, GranuleSet
+from repro.core.policy import InsertionPolicy
+from repro.geometry import Rect, Region
+from repro.lock.manager import LockManager
+from repro.lock.modes import LockDuration, LockMode, covers
+from repro.lock.resource import ResourceId
+from repro.rtree.entry import LeafEntry, ObjectId
+from repro.rtree.report import SMOReport
+from repro.rtree.tree import InsertPlan, RTree, RTreeError
+from repro.storage.page import PageId
+
+#: one lock requirement: (resource, mode, duration)
+Want = Tuple[ResourceId, LockMode, LockDuration]
+
+S, X, IX, SIX = LockMode.S, LockMode.X, LockMode.IX, LockMode.SIX
+SHORT, COMMIT = LockDuration.SHORT, LockDuration.COMMIT
+
+
+@dataclass
+class OpContext:
+    """Per-operation lock bookkeeping for one transaction."""
+
+    txn_id: Hashable
+    #: every (resource, mode, duration) granted during this operation
+    acquired: Set[Want] = field(default_factory=set)
+    #: grant order, for the Table 3 trace assertions
+    taken: List[Want] = field(default_factory=list)
+    waits: int = 0
+    restarts: int = 0
+
+    def holds_covering(self, resource: ResourceId, mode: LockMode, duration: LockDuration) -> bool:
+        """Did this operation already take a lock subsuming the want?
+
+        A commit-duration lock subsumes a short-duration want of a covered
+        mode; short never subsumes commit.
+        """
+        for held_resource, held_mode, held_duration in self.acquired:
+            if held_resource != resource:
+                continue
+            if not covers(held_mode, mode):
+                continue
+            if duration is COMMIT and held_duration is SHORT:
+                continue
+            return True
+        return False
+
+
+class GranuleLockProtocol:
+    """Implements Table 3 over one R-tree and one lock manager."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        lock_manager: LockManager,
+        policy: InsertionPolicy = InsertionPolicy.ON_GROWTH,
+    ) -> None:
+        self.tree = tree
+        self.granules = GranuleSet(tree)
+        self.lm = lock_manager
+        self.policy = policy
+        #: physical-consistency latch (see module docstring)
+        self.latch = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # lock plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _ordered(wants: Sequence[Want]) -> List[Want]:
+        """Global deterministic acquisition order (namespace, key).
+
+        Every transaction requesting its lock set in the same total order
+        cannot deadlock with another transaction doing the same -- waits
+        still happen, cycles mostly do not.  The paper's protocol does not
+        depend on acquisition order, so this is a free reliability win.
+        """
+        return sorted(
+            wants, key=lambda w: (w[0].namespace.value, repr(w[0].key))
+        )
+
+    def _acquire_conditional(self, ctx: OpContext, wants: Sequence[Want]) -> Optional[Want]:
+        """Grab what is instantly grantable; return the first blocker."""
+        wants = self._ordered(wants)
+        for want in wants:
+            resource, mode, duration = want
+            if ctx.holds_covering(resource, mode, duration):
+                continue
+            if self.lm.acquire(ctx.txn_id, resource, mode, duration, conditional=True):
+                ctx.acquired.add(want)
+                ctx.taken.append(want)
+            else:
+                return want
+        return None
+
+    def _wait_for(self, ctx: OpContext, want: Want) -> None:
+        """Unconditional acquisition (outside the latch).  May raise
+        :class:`~repro.lock.manager.DeadlockError`."""
+        resource, mode, duration = want
+        ctx.waits += 1
+        self.lm.acquire(ctx.txn_id, resource, mode, duration, conditional=False)
+        ctx.acquired.add(want)
+        ctx.taken.append(want)
+
+    def _acquire_all(self, ctx: OpContext, wants: Sequence[Want]) -> None:
+        """Take every want, waiting as needed (post-mutation locks only)."""
+        for want in wants:
+            resource, mode, duration = want
+            if ctx.holds_covering(resource, mode, duration):
+                continue
+            if self.lm.acquire(ctx.txn_id, resource, mode, duration, conditional=True):
+                ctx.acquired.add(want)
+                ctx.taken.append(want)
+            else:
+                self._wait_for(ctx, want)
+
+    def end_operation(self, ctx: OpContext) -> None:
+        """Release the operation's short-duration locks."""
+        self.lm.end_operation(ctx.txn_id)
+
+    # ------------------------------------------------------------------
+    # ReadScan / the shared scan-locking loop (Table 3: S on all
+    # overlapping granules, commit duration)
+    # ------------------------------------------------------------------
+
+    def lock_scan(self, ctx: OpContext, predicate: Rect) -> List[GranuleRef]:
+        """Commit-duration S locks on every granule overlapping the predicate."""
+        while True:
+            with self.latch:
+                refs = self.granules.overlapping(predicate)
+                wants: List[Want] = [(ref.resource, S, COMMIT) for ref in refs]
+                blocked = self._acquire_conditional(ctx, wants)
+                if blocked is None:
+                    return refs
+            ctx.restarts += 1
+            self._wait_for(ctx, blocked)
+
+    def execute_scan(self, ctx: OpContext, predicate: Rect) -> List[LeafEntry]:
+        """Lock then read; tombstoned entries are logically absent."""
+        self.lock_scan(ctx, predicate)
+        with self.latch:
+            return [e for e in self.tree.search(predicate) if not e.tombstone]
+
+    # ------------------------------------------------------------------
+    # UpdateScan (Table 3: SIX on the minimal covering set, S on the
+    # remaining overlapping granules, X on each updated object)
+    # ------------------------------------------------------------------
+
+    def lock_update_scan(self, ctx: OpContext, predicate: Rect) -> List[LeafEntry]:
+        while True:
+            with self.latch:
+                cover, rest = self.granules.covering(predicate)
+                wants: List[Want] = [(ref.resource, SIX, COMMIT) for ref in cover]
+                wants += [(ref.resource, S, COMMIT) for ref in rest]
+                blocked = self._acquire_conditional(ctx, wants)
+                if blocked is None:
+                    matches = [e for e in self.tree.search(predicate) if not e.tombstone]
+                    object_wants: List[Want] = [
+                        (ResourceId.obj(e.oid), X, COMMIT) for e in matches
+                    ]
+                    blocked = self._acquire_conditional(ctx, object_wants)
+                    if blocked is None:
+                        return matches
+            ctx.restarts += 1
+            self._wait_for(ctx, blocked)
+
+    # ------------------------------------------------------------------
+    # ReadSingle / UpdateSingle
+    # ------------------------------------------------------------------
+
+    def lock_read_single(self, ctx: OpContext, oid: ObjectId, rect: Rect) -> Optional[LeafEntry]:
+        """Table 3: S on the object only (no granule locks).
+
+        A ReadSingle that finds nothing takes no locks and gets no
+        stability guarantee -- exactly the paper's contract.
+        """
+        while True:
+            with self.latch:
+                located = self.tree.find_entry(oid, rect)
+                if located is None:
+                    return None
+                _leaf_id, entry = located
+                want: Want = (ResourceId.obj(oid), S, COMMIT)
+                blocked = self._acquire_conditional(ctx, [want])
+                if blocked is None:
+                    # The S lock excludes writers, so the tombstone state
+                    # we see now is settled.
+                    return None if entry.tombstone else entry
+            ctx.restarts += 1
+            self._wait_for(ctx, blocked)
+
+    def lock_update_single(self, ctx: OpContext, oid: ObjectId, rect: Rect) -> Optional[LeafEntry]:
+        """Table 3: IX on the granule containing the object, X on the object."""
+        while True:
+            with self.latch:
+                located = self.tree.find_entry(oid, rect)
+                if located is None:
+                    return None
+                leaf_id, entry = located
+                wants: List[Want] = [
+                    (ResourceId.leaf(leaf_id), IX, COMMIT),
+                    (ResourceId.obj(oid), X, COMMIT),
+                ]
+                blocked = self._acquire_conditional(ctx, wants)
+                if blocked is None:
+                    return None if entry.tombstone else entry
+            ctx.restarts += 1
+            self._wait_for(ctx, blocked)
+
+    # ------------------------------------------------------------------
+    # Insert (§3.3 -- §3.5)
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        ctx: OpContext,
+        oid: ObjectId,
+        rect: Rect,
+        on_applied: Optional[Callable[[], None]] = None,
+    ) -> Tuple[Optional[InsertPlan], SMOReport]:
+        """Lock per Table 3, apply the insertion, take the post-split locks.
+
+        Inserting an object whose previous incarnation is tombstoned (its
+        deleter committed, the deferred physical delete has not run yet)
+        *revives* the entry in place: same locks as the no-boundary-change
+        insert row, no geometry moves at all.
+
+        ``on_applied`` fires the moment the tree is actually modified --
+        the caller arms its undo action there, so an abort between the
+        modification and the post-split locks still rolls the object back.
+        """
+        while True:
+            with self.latch:
+                located = self.tree.find_entry(oid, rect)
+                if located is not None:
+                    leaf_id, entry = located
+                    wants: List[Want] = [
+                        (ResourceId.leaf(leaf_id), IX, COMMIT),
+                        (ResourceId.obj(oid), X, COMMIT),
+                    ]
+                    blocked = self._acquire_conditional(ctx, wants)
+                    if blocked is None:
+                        # The X lock settles the tombstone state: an active
+                        # deleter would still hold its own X on the object.
+                        if not entry.tombstone:
+                            raise RTreeError(f"duplicate object id {oid!r}")
+                        self.tree.set_tombstone(oid, rect, False)
+                        if on_applied is not None:
+                            on_applied()
+                        return None, SMOReport(target_leaf=leaf_id)
+                else:
+                    plan = self.tree.plan_insert(rect)
+                    wants = self._insert_wants(ctx, plan, oid, rect)
+                    blocked = self._acquire_conditional(ctx, wants)
+                    if blocked is None:
+                        inherit_from = self._highest_inherited_ext(ctx, plan)
+                        report = self.tree.insert(oid, rect)
+                        if on_applied is not None:
+                            on_applied()
+                        post = self._post_insert_wants(ctx, plan, report, inherit_from)
+                        break
+            ctx.restarts += 1
+            self._wait_for(ctx, blocked)
+        # Post-mutation locks: taken outside the latch because they may
+        # wait on transactions already active inside the granule.
+        self._acquire_all(ctx, post)
+        return plan, report
+
+    def _insert_wants(
+        self, ctx: OpContext, plan: InsertPlan, oid: ObjectId, rect: Rect
+    ) -> List[Want]:
+        wants: List[Want] = []
+        leaf_res = ResourceId.leaf(plan.leaf_id)
+        if plan.leaf_splits:
+            # §3.5: a short SIX (not IX) on the granule about to split --
+            # it conflicts with every other holder, so nobody's lock on g
+            # can be orphaned by the split.
+            wants.append((leaf_res, SIX, SHORT))
+        else:
+            # Cover-for-insert: one commit-duration IX on the granule that
+            # will cover the object.
+            wants.append((leaf_res, IX, COMMIT))
+        wants.append((ResourceId.obj(oid), X, COMMIT))
+
+        if self.policy is InsertionPolicy.NAIVE:
+            # §3.2's naive strategy: nothing fences searchers that lose
+            # coverage to granule growth.  Unsound by design (see policy
+            # docs); used to reproduce the Figure 2/3 counterexamples.
+            return wants
+
+        # Policy-dependent short IX locks that fence old searchers (§3.3/§3.4).
+        for ref in self._policy_overlap_set(ctx, plan, rect):
+            if ref.resource == leaf_res:
+                continue
+            wants.append((ref.resource, IX, SHORT))
+
+        # Short SIX on every external granule that will change (§3.3): no
+        # transaction may be holding a lock on an external granule we are
+        # about to deform.
+        for page_id in plan.changed_external_parents:
+            wants.append((ResourceId.ext(page_id), SIX, SHORT))
+        return wants
+
+    def _policy_overlap_set(
+        self, ctx: OpContext, plan: InsertPlan, rect: Rect
+    ) -> List[GranuleRef]:
+        """The granules the insertion policy requires short IX locks on."""
+        if self.policy is InsertionPolicy.ALL_PATHS:
+            # Base protocol: all granules overlapping the inserted object.
+            return self.granules.overlapping(rect)
+        if not plan.changes_boundaries:
+            # Modified policy, no boundary movement: no extra locks at all.
+            return []
+        # Modified policy: granules overlapping the region the target
+        # granule grows into (new MBR minus old MBR).
+        if plan.leaf_old_mbr is None:
+            growth: Region | Rect = rect
+        else:
+            new_mbr = plan.leaf_old_mbr.union(rect)
+            growth = Region.difference(new_mbr, [plan.leaf_old_mbr])
+        refs = self.granules.overlapping(growth)
+        if self.policy is InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS:
+            # Only fence granules that actually have a conflicting holder
+            # (an active searcher); quiet paths cost nothing.  (The paper
+            # proposes, but did not implement, additionally skipping the
+            # page reads down quiet paths; we keep the traversal I/O and
+            # save the locks.)
+            refs = [
+                ref
+                for ref in refs
+                if self.lm.has_conflicting_holder(ref.resource, IX, ignore=(ctx.txn_id,))
+            ]
+        return refs
+
+    def _highest_inherited_ext(self, ctx: OpContext, plan: InsertPlan) -> Optional[int]:
+        """Footnote (y) of Table 3: if the inserter itself holds a commit
+        S lock on an external granule that is about to shrink, the
+        growing/splitting granules must inherit that coverage.  Returns the
+        index into ``plan.path_ids`` of the highest such ancestor."""
+        highest: Optional[int] = None
+        for page_id in plan.changed_external_parents:
+            held = self.lm.held_commit_mode(ctx.txn_id, ResourceId.ext(page_id))
+            if held is not None and covers(held, S):
+                idx = plan.path_ids.index(page_id)
+                if highest is None or idx < highest:
+                    highest = idx
+        return highest
+
+    def _post_insert_wants(
+        self,
+        ctx: OpContext,
+        plan: InsertPlan,
+        report: SMOReport,
+        inherit_from: Optional[int],
+    ) -> List[Want]:
+        wants: List[Want] = []
+        held_s_on_leaf = self._held_commit_covers(ctx, ResourceId.leaf(plan.leaf_id), S)
+
+        for split in report.splits:
+            if split.level == 0:
+                # §3.5: after the leaf split, IX on both halves protects
+                # the inserted object wherever it landed.
+                wants.append((ResourceId.leaf(split.left_id), IX, COMMIT))
+                wants.append((ResourceId.leaf(split.right_id), IX, COMMIT))
+                if held_s_on_leaf:
+                    # The inserter's own S coverage of g: SIX on both
+                    # halves plus S on ext(parent) covers g's old extent.
+                    parent = self.tree.node(split.left_id, count_io=False).parent_id
+                    wants.append((ResourceId.leaf(split.left_id), SIX, COMMIT))
+                    wants.append((ResourceId.leaf(split.right_id), SIX, COMMIT))
+                    wants.append((ResourceId.ext(parent), S, COMMIT))
+            else:
+                # A non-leaf split replaces ext(N) by ext(N1), ext(N2); a
+                # transaction holding S on ext(N) re-covers via both plus
+                # ext(parent) (§3.5).
+                if self._held_commit_covers(ctx, ResourceId.ext(split.old_id), S):
+                    parent = self.tree.node(split.left_id, count_io=False).parent_id
+                    wants.append((ResourceId.ext(split.left_id), S, COMMIT))
+                    wants.append((ResourceId.ext(split.right_id), S, COMMIT))
+                    wants.append((ResourceId.ext(parent), S, COMMIT))
+
+        if inherit_from is not None:
+            # The region the inserter lost from ext(P) is now covered by
+            # the external granules of the path below P plus the leaf
+            # granule; S locks there restore the coverage.
+            for page_id in plan.path_ids[inherit_from + 1 : -1]:
+                if self.tree.pager.exists(page_id):
+                    wants.append((ResourceId.ext(page_id), S, COMMIT))
+            for split in report.splits:
+                if split.level == 0:
+                    wants.append((ResourceId.leaf(split.left_id), S, COMMIT))
+                    wants.append((ResourceId.leaf(split.right_id), S, COMMIT))
+                    break
+            else:
+                if self.tree.pager.exists(plan.leaf_id):
+                    wants.append((ResourceId.leaf(plan.leaf_id), S, COMMIT))
+        return wants
+
+    def _held_commit_covers(self, ctx: OpContext, resource: ResourceId, mode: LockMode) -> bool:
+        held = self.lm.held_commit_mode(ctx.txn_id, resource)
+        return held is not None and covers(held, mode)
+
+    # ------------------------------------------------------------------
+    # Logical delete (§3.6)
+    # ------------------------------------------------------------------
+
+    def logical_delete(
+        self, ctx: OpContext, oid: ObjectId, rect: Rect
+    ) -> Optional[PageId]:
+        """Tombstone the object under commit IX on its granule + X on it.
+
+        Returns the leaf page id, or ``None`` when the object does not
+        exist -- in which case the deleter takes S locks on all granules
+        overlapping the object, "just like a ReadScan with the object as
+        the scan predicate", so nobody can insert it while we are active.
+        """
+        scanned_absent = False
+        while True:
+            blocked: Optional[Want] = None
+            with self.latch:
+                located = self.tree.find_entry(oid, rect)
+                if located is not None:
+                    leaf_id, entry = located
+                    wants: List[Want] = [
+                        (ResourceId.leaf(leaf_id), IX, COMMIT),
+                        (ResourceId.obj(oid), X, COMMIT),
+                    ]
+                    blocked = self._acquire_conditional(ctx, wants)
+                    if blocked is None:
+                        if entry.tombstone:
+                            # Logically deleted by a committed transaction
+                            # whose physical delete has not run yet: the
+                            # object does not logically exist.
+                            located = None
+                        else:
+                            self.tree.set_tombstone(oid, rect, True)
+                            return leaf_id
+                if located is None and scanned_absent:
+                    # The S locks from the previous iteration are held and
+                    # the object (still) does not exist: done.
+                    return None
+            if blocked is not None:
+                ctx.restarts += 1
+                self._wait_for(ctx, blocked)
+                continue
+            # Object absent: take S on all granules overlapping it ("just
+            # like a ReadScan with the object as the scan predicate"), then
+            # re-check -- somebody may have inserted it while we waited.
+            self.lock_scan(ctx, rect)
+            scanned_absent = True
+
+    # ------------------------------------------------------------------
+    # Deferred physical delete (§3.7) -- run by a maintenance transaction
+    # ------------------------------------------------------------------
+
+    def physical_delete(self, ctx: OpContext, oid: ObjectId, rect: Rect) -> Optional[SMOReport]:
+        """Remove a (committed) tombstone from the tree, per Table 3's
+        "Delete (Deferred)" row.  Returns ``None`` if the entry is gone."""
+        while True:
+            with self.latch:
+                plan = self.tree.plan_delete(oid, rect)
+                if plan is None:
+                    return None
+                located = self.tree.find_entry(oid, rect)
+                if located is None or not located[1].tombstone:
+                    # Gone already, or *revived* by a re-insertion of the
+                    # same object after the deleter committed -- in either
+                    # case there is nothing to reclaim.
+                    return None
+                wants: List[Want] = []
+                leaf_res = ResourceId.leaf(plan.leaf_id)
+                if plan.underflows:
+                    # Node elimination destroys the granule: the SIX lock
+                    # fences even IX holders (§3.7).
+                    wants.append((leaf_res, SIX, SHORT))
+                else:
+                    wants.append((leaf_res, IX, SHORT))
+                wants.append((ResourceId.obj(oid), X, COMMIT))
+                for page_id in plan.changed_external_parents:
+                    wants.append((ResourceId.ext(page_id), SIX, SHORT))
+                # Table 3's "locks for reinsertion of orphan entries":
+                # short IX on every granule overlapping an orphan's
+                # rectangle fences scanners of those regions until every
+                # orphan is back in the tree.
+                for orphan_rect in plan.orphan_rects:
+                    for ref in self.granules.overlapping(orphan_rect):
+                        wants.append((ref.resource, IX, SHORT))
+                blocked = self._acquire_conditional(ctx, wants)
+                if blocked is None:
+                    report = self.tree.delete(oid, rect, collect_orphans=True)
+                    break
+            ctx.restarts += 1
+            self._wait_for(ctx, blocked)
+
+        # Re-insert every orphan under its own insert locks (§3.7: "similar
+        # to an ordinary insert operation").  The short IX fences taken
+        # above stay held until end_operation, so no scanner can observe
+        # the tree while an orphan is out of it.  If a re-insertion lock
+        # wait aborts this (maintenance) transaction, the remaining orphans
+        # are put back structurally anyway -- losing committed data to a
+        # deadlock in a cleanup pass is never acceptable; the IX fences
+        # still shield the affected regions until end_operation.
+        pending = list(report.orphans)
+        try:
+            while pending:
+                entry, target_level = pending[0]
+                sub = self._reinsert(ctx, entry, target_level)
+                pending.pop(0)
+                report.merge(sub)
+        except BaseException:
+            with self.latch:
+                for entry, target_level in pending:
+                    report.merge(self.tree.reinsert_entry(entry, target_level))
+            report.orphans.clear()
+            raise
+        report.orphans.clear()
+        return report
+
+    def _reinsert(self, ctx: OpContext, entry, target_level: int) -> SMOReport:
+        """One orphan re-insertion with ordinary insert locking (§3.7).
+
+        Data entries (target level 0) take IX on the receiving granule;
+        subtree entries take SIX on the receiving node's external granule
+        (which shrinks as the new child carves into it).  No object X lock
+        is taken -- the object's content is untouched, only its location
+        changes.
+        """
+        while True:
+            with self.latch:
+                plan = self.tree.plan_insert(entry.rect, target_level=target_level)
+                wants: List[Want] = []
+                if target_level == 0:
+                    target_res = ResourceId.leaf(plan.leaf_id)
+                    wants.append((target_res, SIX if plan.leaf_splits else IX, SHORT))
+                else:
+                    target_res = ResourceId.ext(plan.leaf_id)
+                    wants.append((target_res, SIX, SHORT))
+                for ref in self._policy_overlap_set(ctx, plan, entry.rect):
+                    if ref.resource != target_res:
+                        wants.append((ref.resource, IX, SHORT))
+                for page_id in plan.changed_external_parents:
+                    wants.append((ResourceId.ext(page_id), SIX, SHORT))
+                blocked = self._acquire_conditional(ctx, wants)
+                if blocked is None:
+                    report = self.tree.reinsert_entry(entry, target_level)
+                    post = self._post_insert_wants(ctx, plan, report, None)
+                    break
+            ctx.restarts += 1
+            self._wait_for(ctx, blocked)
+        self._acquire_all(ctx, post)
+        return report

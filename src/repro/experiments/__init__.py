@@ -1,0 +1,43 @@
+"""Runnable reproductions of the paper's evaluation.
+
+One module per experiment (see DESIGN.md §3 for the index):
+
+* :mod:`repro.experiments.table2` -- average disk accesses per insertion,
+  per tree level, when inserters follow all overlapping paths (Table 2);
+* :mod:`repro.experiments.fanout_sweep` -- fraction of inserters that
+  change a granule boundary vs fanout (§3.4);
+* :mod:`repro.experiments.runner` -- the discrete-event workload runner
+  used by the concurrency comparisons (Table 4's deferred experiment and
+  the phantom demonstrations);
+* :mod:`repro.experiments.reporting` -- plain-text table rendering shared
+  by the benchmark scripts.
+"""
+
+from repro.experiments.table2 import Table2Row, measure_insertion_overhead
+from repro.experiments.fanout_sweep import BoundaryChangeResult, boundary_change_fraction
+from repro.experiments.granule_stats import GranuleStats, measure_granule_stats
+from repro.experiments.runner import (
+    RunConfig,
+    RunMetrics,
+    run_workload,
+    compare_kinds,
+    build_index,
+    INDEX_KINDS,
+)
+from repro.experiments.reporting import render_table
+
+__all__ = [
+    "Table2Row",
+    "measure_insertion_overhead",
+    "BoundaryChangeResult",
+    "boundary_change_fraction",
+    "GranuleStats",
+    "measure_granule_stats",
+    "RunConfig",
+    "RunMetrics",
+    "run_workload",
+    "compare_kinds",
+    "build_index",
+    "INDEX_KINDS",
+    "render_table",
+]

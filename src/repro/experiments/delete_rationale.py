@@ -1,0 +1,107 @@
+"""§3.6's design rationale, measured: why deletes are logical.
+
+The paper rejects immediate physical deletion because the granule ``g``
+may shrink to ``g'`` and no longer cover the deleted object, so the
+deleter would need commit-duration IX locks on a *minimal covering set*
+``C`` -- ``g`` plus whatever granules cover ``O ∩ (g − g')`` -- computed
+by an extra top-down traversal.  Logical deletion needs exactly one
+commit IX (plus the object X) and no geometry changes.
+
+This experiment quantifies the rejected alternative: for a sample of
+deletions, how often would the granule shrink away from the object, how
+many commit locks would ``C`` take, and how many extra node reads would
+computing it cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.granules import GranuleSet
+from repro.geometry import Rect, Region
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTreeConfig
+from repro.workloads.datasets import Object, paper_point_dataset, paper_spatial_dataset
+
+
+@dataclass
+class DeleteRationaleStats:
+    data_kind: str
+    fanout: int
+    sampled: int
+    #: deletions where g would shrink off the deleted object
+    uncovered: int
+    #: mean size of the covering set C over all sampled deletions
+    mean_cover_locks: float
+    #: worst |C| observed
+    max_cover_locks: int
+    #: mean extra node reads for the covering traversal
+    mean_extra_reads: float
+
+    @property
+    def uncovered_fraction(self) -> float:
+        return self.uncovered / self.sampled if self.sampled else 0.0
+
+
+def measure_delete_rationale(
+    data_kind: str = "spatial",
+    fanout: int = 12,
+    n_objects: int = 6_000,
+    sample: int = 1_000,
+    seed: int = 0,
+    dataset: Optional[Sequence[Object]] = None,
+) -> DeleteRationaleStats:
+    if dataset is None:
+        if data_kind == "point":
+            dataset = paper_point_dataset(n_objects, seed=seed)
+        elif data_kind == "spatial":
+            dataset = paper_spatial_dataset(n_objects, seed=seed)
+        else:
+            raise ValueError(f"unknown data kind {data_kind!r}")
+    objects = list(dataset)
+    tree = bulk_load(objects, RTreeConfig(max_entries=fanout))
+    granules = GranuleSet(tree)
+
+    uncovered = 0
+    total_cover = 0
+    max_cover = 0
+    total_reads = 0
+    step = max(1, len(objects) // sample)
+    sampled = 0
+    for oid, rect in objects[::step]:
+        sampled += 1
+        located = tree.find_entry(oid, rect)
+        assert located is not None
+        leaf_id, _entry = located
+        leaf = tree.node(leaf_id, count_io=False)
+        remaining = [e.rect for e in leaf.entries if e.oid != oid]
+        shrunk = Rect.bounding(remaining) if remaining else None
+
+        # the part of O the shrunken granule no longer covers
+        if shrunk is None:
+            leftover = Region.from_rect(rect)
+        else:
+            leftover = Region.difference(rect, [shrunk])
+        cover_locks = 1  # g itself
+        if not leftover.is_empty():
+            uncovered += 1
+            tree.pager.stats.reset()
+            extra = [
+                ref for ref in granules.overlapping(leftover)
+                if ref.page_id != leaf_id
+            ]
+            total_reads += tree.pager.stats.logical_reads
+            cover_locks += len(extra)
+        total_cover += cover_locks
+        max_cover = max(max_cover, cover_locks)
+
+    return DeleteRationaleStats(
+        data_kind=data_kind,
+        fanout=fanout,
+        sampled=sampled,
+        uncovered=uncovered,
+        mean_cover_locks=total_cover / max(1, sampled),
+        max_cover_locks=max_cover,
+        mean_extra_reads=total_reads / max(1, sampled),
+    )

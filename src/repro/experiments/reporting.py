@@ -1,0 +1,37 @@
+"""Plain-text tables for the benchmark scripts.
+
+The benchmarks print paper-style tables to stdout (and the harness tees
+them into ``bench_output.txt``); this module holds the one shared
+renderer so every table looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

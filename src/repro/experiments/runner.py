@@ -1,0 +1,294 @@
+"""The discrete-event concurrency workload runner.
+
+Runs one generated workload (see :mod:`repro.workloads.operations`)
+against any of the six index configurations under the simulator, and
+returns comparable metrics: committed/aborted counts, simulated makespan
+and throughput, lock traffic, I/O, phantom anomalies and serializability.
+
+This is the engine behind the Table 4 comparison benchmark (the paper
+defers the empirical granular-vs-predicate comparison to future work; we
+run it) and the phantom-demonstration benchmark.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines import ObjectLockIndex, PredicateLockIndex, PredicateLockTable, TreeLockIndex
+from repro.concurrency.checker import (
+    SerializabilityViolation,
+    check_conflict_serializable,
+    find_phantoms,
+)
+from repro.concurrency.history import History
+from repro.concurrency.simulator import CostModel, Simulator
+from repro.concurrency.waits import SimulatedWait
+from repro.core import InsertionPolicy, PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.lock.manager import LockManager
+from repro.rtree.tree import RTreeConfig
+from repro.txn import TransactionAborted
+from repro.workloads.datasets import UNIT, Object, uniform_rects
+from repro.workloads.operations import MixSpec, OpCall, TxnScript, generate_scripts
+
+#: every index configuration the experiments compare
+INDEX_KINDS = (
+    "dgl-all-paths",
+    "dgl-on-growth",
+    "dgl-active-searchers",
+    "tree-lock",
+    "predicate-lock",
+    "object-lock",
+    "zorder-krl",
+)
+
+_DGL_POLICIES = {
+    "dgl-all-paths": InsertionPolicy.ALL_PATHS,
+    "dgl-on-growth": InsertionPolicy.ON_GROWTH,
+    "dgl-active-searchers": InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS,
+}
+
+
+@dataclass
+class RunConfig:
+    index_kind: str = "dgl-on-growth"
+    fanout: int = 12
+    n_preload: int = 300
+    n_workers: int = 8
+    txns_per_worker: int = 4
+    ops_per_txn: int = 4
+    mix: MixSpec = field(default_factory=MixSpec)
+    seed: int = 0
+    costs: CostModel = field(default_factory=CostModel)
+    universe: Rect = UNIT
+    #: re-run a transaction aborted as a deadlock victim (up to this many
+    #: times); its wasted work still burns simulated time, which is how
+    #: deadlock-prone schemes pay for their aborts in the throughput numbers
+    max_retries: int = 5
+
+    def __post_init__(self) -> None:
+        if self.index_kind not in INDEX_KINDS:
+            raise ValueError(f"unknown index kind {self.index_kind!r}; choose from {INDEX_KINDS}")
+
+
+@dataclass
+class RunMetrics:
+    index_kind: str
+    committed: int = 0
+    aborted: int = 0
+    sim_time: float = 0.0
+    lock_acquisitions: int = 0
+    lock_waits: int = 0
+    deadlocks: int = 0
+    predicate_comparisons: int = 0
+    physical_reads: int = 0
+    phantom_anomalies: int = 0
+    serializable: bool = True
+    operations: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per 1000 simulated time units."""
+        if self.sim_time <= 0:
+            return 0.0
+        return 1000.0 * self.committed / self.sim_time
+
+    @property
+    def locks_per_op(self) -> float:
+        if not self.operations:
+            return 0.0
+        return self.lock_acquisitions / self.operations
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+
+def build_index(kind: str, config: RunConfig, sim: Simulator, history: History):
+    """Construct one index configuration wired to the simulator."""
+    strategy = SimulatedWait(sim)
+    lm = LockManager(wait_strategy=strategy)
+    rcfg = RTreeConfig(max_entries=config.fanout, universe=config.universe)
+    clock = lambda: sim.clock  # noqa: E731 - tiny closure is clearest here
+    if kind in _DGL_POLICIES:
+        return PhantomProtectedRTree(
+            rcfg, lock_manager=lm, policy=_DGL_POLICIES[kind], history=history, clock=clock
+        )
+    if kind == "tree-lock":
+        return TreeLockIndex(rcfg, lock_manager=lm, history=history, clock=clock)
+    if kind == "predicate-lock":
+        return PredicateLockIndex(
+            rcfg,
+            lock_manager=lm,
+            history=history,
+            clock=clock,
+            predicate_table=PredicateLockTable(strategy),
+        )
+    if kind == "object-lock":
+        return ObjectLockIndex(rcfg, lock_manager=lm, history=history, clock=clock)
+    if kind == "zorder-krl":
+        from repro.baselines.zorder_krl import ZOrderKRLIndex
+        from repro.btree import BTreeConfig
+
+        return ZOrderKRLIndex(
+            universe=config.universe,
+            btree_config=BTreeConfig(max_keys=max(4, config.fanout)),
+            max_object_extent=max(config.mix.object_extent, 0.05),
+            lock_manager=lm,
+            history=history,
+            clock=clock,
+        )
+    raise ValueError(kind)
+
+
+def _apply(index, txn, op: OpCall):
+    if op.kind == "read_scan":
+        return index.read_scan(txn, op.rect)
+    if op.kind == "insert":
+        return index.insert(txn, op.oid, op.rect)
+    if op.kind == "delete":
+        return index.delete(txn, op.oid, op.rect)
+    if op.kind == "read_single":
+        return index.read_single(txn, op.oid, op.rect)
+    if op.kind == "update_single":
+        return index.update_single(txn, op.oid, op.rect, payload="updated")
+    if op.kind == "update_scan":
+        return index.update_scan(txn, op.rect, lambda oid, rect, old: "bulk-updated")
+    raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+def run_workload(
+    config: RunConfig,
+    preload: Optional[List[Object]] = None,
+    scripts: Optional[List[List[TxnScript]]] = None,
+    check: bool = True,
+) -> RunMetrics:
+    """Run one workload to completion and collect metrics.
+
+    Pass the same ``preload`` and ``scripts`` to successive calls with
+    different ``index_kind`` to compare schemes on identical work.
+    """
+    if preload is None:
+        preload = uniform_rects(
+            config.n_preload, seed=config.seed, extent_fraction=0.02, universe=config.universe
+        )
+    if scripts is None:
+        scripts = generate_scripts(
+            preload,
+            config.n_workers,
+            config.txns_per_worker,
+            config.ops_per_txn,
+            config.mix,
+            seed=config.seed,
+            universe=config.universe,
+        )
+
+    sim = Simulator(seed=config.seed)
+    history = History()
+    index = build_index(config.index_kind, config, sim, history)
+
+    with index.transaction("preload") as txn:
+        for oid, rect in preload:
+            index.insert(txn, oid, rect)
+
+    metrics = RunMetrics(index_kind=config.index_kind)
+
+    def traffic() -> tuple:
+        locks = index.lock_manager.total_acquisitions()
+        comparisons = 0
+        if isinstance(index, PredicateLockIndex):
+            locks += index.predicates.acquisitions
+            comparisons = index.predicates.comparisons
+        return locks, comparisons
+
+    def worker(worker_scripts: List[TxnScript]) -> Callable[[], None]:
+        def body() -> None:
+            for script in worker_scripts:
+                for attempt in range(config.max_retries + 1):
+                    txn = index.begin(f"{script.name}~{attempt}" if attempt else script.name)
+                    try:
+                        for op in script.ops:
+                            locks_before, cmps_before = traffic()
+                            result = _apply(index, txn, op)
+                            locks_after, cmps_after = traffic()
+                            cost = (
+                                result.physical_reads * config.costs.io
+                                + config.costs.cpu
+                                + (locks_after - locks_before) * config.costs.lock_op
+                                + (cmps_after - cmps_before) * config.costs.predicate_check
+                                + op.think
+                            )
+                            metrics.operations += 1
+                            sim.checkpoint(cost)
+                        index.commit(txn)
+                        break
+                    except TransactionAborted:
+                        # deadlock victim: already rolled back; back off
+                        # before retrying, staggered per script so two
+                        # victims do not re-collide in lock step.  (zlib
+                        # CRC, not hash(): string hashing is randomised per
+                        # process and would break run determinism.)
+                        stagger = (zlib.crc32(script.name.encode()) % 7) + 1
+                        sim.checkpoint(5.0 * (attempt + 1) * stagger)
+
+        return body
+
+    for w, worker_scripts in enumerate(scripts):
+        sim.spawn(f"worker-{w}", worker(worker_scripts), delay=w * 0.01)
+    sim.run()
+    sim.raise_process_errors()
+    # Snapshot the workload's own transaction counts before vacuum, which
+    # runs its deferred deletes as extra (system) transactions.
+    metrics.committed = index.txn_manager.committed - 1  # exclude the preload txn
+    metrics.aborted = index.txn_manager.aborted
+    index.vacuum()
+    metrics.sim_time = sim.clock
+    metrics.lock_acquisitions = index.lock_manager.total_acquisitions()
+    metrics.lock_waits = index.lock_manager.wait_count
+    metrics.deadlocks = index.lock_manager.deadlock_count
+    metrics.physical_reads = index.stats.physical_reads
+    if isinstance(index, PredicateLockIndex):
+        metrics.predicate_comparisons = index.predicates.comparisons
+        metrics.lock_acquisitions += index.predicates.acquisitions
+        metrics.lock_waits += index.predicates.wait_count
+        metrics.deadlocks += index.predicates.deadlock_count
+
+    if check:
+        metrics.phantom_anomalies = len(find_phantoms(history))
+        try:
+            check_conflict_serializable(history)
+        except SerializabilityViolation:
+            metrics.serializable = False
+    return metrics
+
+
+def compare_kinds(
+    kinds: List[str],
+    config: RunConfig,
+    preload: Optional[List[Object]] = None,
+    scripts: Optional[List[List[TxnScript]]] = None,
+) -> Dict[str, RunMetrics]:
+    """Run the identical workload against several index kinds."""
+    from dataclasses import replace
+
+    if preload is None:
+        preload = uniform_rects(
+            config.n_preload, seed=config.seed, extent_fraction=0.02, universe=config.universe
+        )
+    if scripts is None:
+        scripts = generate_scripts(
+            preload,
+            config.n_workers,
+            config.txns_per_worker,
+            config.ops_per_txn,
+            config.mix,
+            seed=config.seed,
+            universe=config.universe,
+        )
+    return {
+        kind: run_workload(replace(config, index_kind=kind), preload=preload, scripts=scripts)
+        for kind in kinds
+    }

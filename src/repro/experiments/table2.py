@@ -1,0 +1,222 @@
+"""Table 2: I/O overhead of following all overlapping paths.
+
+The base insertion protocol (§3.3) makes every inserter traverse *all*
+paths overlapping the inserted object to take its short-duration IX
+locks, instead of the single ChooseLeaf path.  Table 2 reports the
+average number of disk pages accessed at each level under that rule, for
+the paper's point and spatial datasets.
+
+Method (matching the paper's): build the tree by successive insertion;
+for each measured insertion, count the nodes whose bounding rectangle
+overlaps the new object, level by level, from the root down to the lowest
+*index* level (the inserter never needs to read the leaf nodes themselves
+-- their granule ids and MBRs are stored in their parents).  The per-level
+average is the ADA; the overhead is ADA minus one, since the ChooseLeaf
+path touches one page per level anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.geometry import Rect
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree, RTreeConfig
+from repro.workloads.datasets import Object, paper_point_dataset, paper_spatial_dataset
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2."""
+
+    data_kind: str  # "point" | "spatial"
+    fanout: int
+    height: int
+    n_objects: int
+    measured_insertions: int
+    #: paper-level (1 = root) -> average pages accessed at that level
+    ada_per_level: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def overhead_per_level(self) -> Dict[int, float]:
+        """Average *extra* I/O per level (ADA - 1)."""
+        return {lvl: max(0.0, ada - 1.0) for lvl, ada in self.ada_per_level.items()}
+
+    @property
+    def total_overhead(self) -> float:
+        """Total extra page accesses per insertion across all levels."""
+        return sum(self.overhead_per_level.values())
+
+
+def count_overlapping_path_accesses(tree: RTree, rect: Rect) -> Dict[int, int]:
+    """Pages a follow-all-overlapping-paths inserter reads, per paper level.
+
+    The root is always read; below it, only children whose MBR overlaps
+    the object; leaf nodes (paper level = tree height) are never read.
+    Accesses are counted without going through the buffer pool so the
+    measurement does not disturb other statistics.
+    """
+    height = tree.height
+    counts: Dict[int, int] = {}
+    root = tree.pager.peek(tree.root_id).payload
+    if root.is_leaf:
+        return counts
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        paper_level = height - node.level
+        counts[paper_level] = counts.get(paper_level, 0) + 1
+        if node.level == 1:
+            continue  # children are leaves; the inserter stops here
+        for entry in node.entries:
+            if entry.rect.intersects(rect):
+                stack.append(tree.pager.peek(entry.child_id).payload)
+    return counts
+
+
+def measure_insertion_overhead(
+    data_kind: str = "point",
+    fanout: int = 16,
+    n_objects: int = 32_000,
+    measured: int = 2_000,
+    seed: int = 0,
+    split_algorithm: str = "quadratic",
+    dataset: Optional[Sequence[Object]] = None,
+    bulk_build: bool = False,
+) -> Table2Row:
+    """Reproduce one (data kind, fanout) cell group of Table 2.
+
+    The first ``n_objects - measured`` objects build the tree; the last
+    ``measured`` insertions are measured.  ``bulk_build=True`` packs the
+    build portion with STR instead of inserting it (two orders of
+    magnitude faster, same measured quantity -- the benchmark states which
+    mode it used).
+    """
+    if dataset is None:
+        if data_kind == "point":
+            dataset = paper_point_dataset(n_objects, seed=seed)
+        elif data_kind == "spatial":
+            dataset = paper_spatial_dataset(n_objects, seed=seed)
+        else:
+            raise ValueError(f"unknown data kind {data_kind!r}")
+    objects = list(dataset)
+    measured = min(measured, len(objects))
+    build, probe = objects[:-measured], objects[-measured:]
+
+    config = RTreeConfig(max_entries=fanout, split_algorithm=split_algorithm)
+    if bulk_build and build:
+        tree = bulk_load(build, config)
+    else:
+        tree = RTree(config)
+        for oid, rect in build:
+            tree.insert(oid, rect)
+
+    totals: Dict[int, int] = {}
+    for oid, rect in probe:
+        for level, count in count_overlapping_path_accesses(tree, rect).items():
+            totals[level] = totals.get(level, 0) + count
+        tree.insert(oid, rect)
+
+    row = Table2Row(
+        data_kind=data_kind,
+        fanout=fanout,
+        height=tree.height,
+        n_objects=len(objects),
+        measured_insertions=len(probe),
+    )
+    for level in range(1, tree.height):
+        row.ada_per_level[level] = totals.get(level, 0) / max(1, len(probe))
+    return row
+
+
+@dataclass
+class BufferedOverheadRow:
+    """Result of :func:`measure_buffered_overhead`."""
+
+    data_kind: str
+    fanout: int
+    height: int
+    buffer_pages: int
+    #: physical reads per insertion beyond the single leaf-path page
+    #: (the cold-cache Table 2 overhead)
+    cold_overhead: float
+    #: same, with the top three levels resident in the buffer pool
+    warm_overhead: float
+
+
+def measure_buffered_overhead(
+    data_kind: str = "point",
+    fanout: int = 16,
+    n_objects: int = 8_000,
+    measured: int = 1_000,
+    seed: int = 0,
+    dataset: Optional[Sequence[Object]] = None,
+) -> BufferedOverheadRow:
+    """§3.4's buffer argument, measured.
+
+    "The overhead is expected to be lower with a reasonably large buffer
+    and a frequently used R-tree since the pages corresponding to the
+    three highest levels of the R-tree will always be kept in memory …
+    If the three highest levels are always in main memory, the inserter
+    incurs no I/O overhead even for a 4-level R-tree."
+
+    Uses the paper's own arithmetic: the overhead at level L is
+    ``ADA(L) - 1`` (the plain insertion path touches one page per level
+    anyway); with the top three levels resident, overhead at levels <= 3
+    costs no I/O, so the warm overhead is the cold overhead summed over
+    levels >= 4 only.
+    """
+    if dataset is None:
+        if data_kind == "point":
+            dataset = paper_point_dataset(n_objects, seed=seed)
+        elif data_kind == "spatial":
+            dataset = paper_spatial_dataset(n_objects, seed=seed)
+        else:
+            raise ValueError(f"unknown data kind {data_kind!r}")
+    objects = list(dataset)
+    measured = min(measured, len(objects))
+    build, probe = objects[:-measured], objects[-measured:]
+    tree = bulk_load(build, RTreeConfig(max_entries=fanout)) if build else RTree(
+        RTreeConfig(max_entries=fanout)
+    )
+    height = tree.height
+
+    totals: Dict[int, int] = {}
+    for _oid, rect in probe:
+        for level, count in count_overlapping_path_accesses(tree, rect).items():
+            totals[level] = totals.get(level, 0) + count
+
+    def overhead(levels) -> float:
+        return sum(
+            max(0.0, totals.get(level, 0) / max(1, len(probe)) - 1.0) for level in levels
+        )
+
+    top_pages = sum(1 for node in tree.iter_nodes() if height - node.level <= 3)
+    return BufferedOverheadRow(
+        data_kind=data_kind,
+        fanout=fanout,
+        height=height,
+        buffer_pages=top_pages,
+        cold_overhead=overhead(range(2, height)),
+        warm_overhead=overhead(range(4, height)),
+    )
+
+
+def fanout_for_height(
+    target_height: int, n_objects: int, candidates: Sequence[int] = (100, 64, 50, 32, 24, 16, 12, 8, 6, 4)
+) -> int:
+    """Pick a fanout whose STR-packed tree over ``n_objects`` has the
+    target height (used to produce Table 2's level-2/3/4 columns)."""
+    import math
+
+    for fanout in candidates:
+        capacity = max(2, int(fanout * 0.7))
+        nodes = math.ceil(n_objects / capacity)
+        height = 1
+        while nodes > 1:
+            nodes = math.ceil(nodes / capacity)
+            height += 1
+        if height == target_height:
+            return fanout
+    raise ValueError(f"no candidate fanout yields height {target_height} for {n_objects} objects")

@@ -1,0 +1,220 @@
+"""n-dimensional closed axis-aligned rectangles.
+
+A :class:`Rect` is immutable and hashable so it can be used as a dictionary
+key (the history checkers key conflicts by predicate rectangle).  All
+interval arithmetic treats rectangles as *closed* boxes, matching the
+R-tree convention that an object lying exactly on the boundary of a
+bounding rectangle is covered by it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+class Rect:
+    """A closed axis-aligned box ``[lo_i, hi_i]`` in ``d`` dimensions.
+
+    Degenerate boxes (``lo_i == hi_i`` in some or all dimensions) are valid
+    and represent points or lower-dimensional slabs; the R-tree stores point
+    data as degenerate rectangles.
+    """
+
+    __slots__ = ("_lo", "_hi", "_hash")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        lo = tuple(float(v) for v in lo)
+        hi = tuple(float(v) for v in hi)
+        if len(lo) != len(hi):
+            raise ValueError(f"dimension mismatch: {len(lo)} != {len(hi)}")
+        if not lo:
+            raise ValueError("rectangles must have at least one dimension")
+        for a, b in zip(lo, hi):
+            if math.isnan(a) or math.isnan(b):
+                raise ValueError("NaN coordinate in rectangle")
+            if a > b:
+                raise ValueError(f"inverted interval [{a}, {b}]")
+        self._lo = lo
+        self._hi = hi
+        self._hash = hash((lo, hi))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        """A degenerate rectangle covering exactly one point."""
+        return cls(point, point)
+
+    @classmethod
+    def from_extents(cls, *extents: Tuple[float, float]) -> "Rect":
+        """Build from per-dimension ``(lo, hi)`` pairs.
+
+        >>> Rect.from_extents((0, 1), (2, 3))
+        Rect((0.0, 2.0), (1.0, 3.0))
+        """
+        if not extents:
+            raise ValueError("at least one extent required")
+        return cls([e[0] for e in extents], [e[1] for e in extents])
+
+    @classmethod
+    def bounding(cls, rects: Iterable["Rect"]) -> "Rect":
+        """The minimum bounding rectangle of a non-empty collection."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot bound an empty collection of rectangles")
+        lo = list(first._lo)
+        hi = list(first._hi)
+        for r in it:
+            for i in range(len(lo)):
+                if r._lo[i] < lo[i]:
+                    lo[i] = r._lo[i]
+                if r._hi[i] > hi[i]:
+                    hi[i] = r._hi[i]
+        return cls(lo, hi)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def lo(self) -> Tuple[float, ...]:
+        return self._lo
+
+    @property
+    def hi(self) -> Tuple[float, ...]:
+        return self._hi
+
+    @property
+    def dim(self) -> int:
+        return len(self._lo)
+
+    @property
+    def center(self) -> Tuple[float, ...]:
+        return tuple((a + b) / 2.0 for a, b in zip(self._lo, self._hi))
+
+    def side(self, axis: int) -> float:
+        """Length of the rectangle along ``axis``."""
+        return self._hi[axis] - self._lo[axis]
+
+    def area(self) -> float:
+        """d-dimensional volume (zero for degenerate boxes)."""
+        prod = 1.0
+        for a, b in zip(self._lo, self._hi):
+            prod *= b - a
+        return prod
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree margin metric, up to a constant)."""
+        return sum(b - a for a, b in zip(self._lo, self._hi))
+
+    def is_degenerate(self) -> bool:
+        """True when the box has zero volume."""
+        return any(a == b for a, b in zip(self._lo, self._hi))
+
+    # -- predicates --------------------------------------------------------
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed-box overlap test (shared boundaries count as overlap)."""
+        self._check_dim(other)
+        for a_lo, a_hi, b_lo, b_hi in zip(self._lo, self._hi, other._lo, other._hi):
+            if a_hi < b_lo or b_hi < a_lo:
+                return False
+        return True
+
+    def intersects_open(self, other: "Rect") -> bool:
+        """Overlap with positive measure in every dimension.
+
+        Used when testing whether a predicate overlaps the *interior* of a
+        region; touching boundaries do not count.
+        """
+        self._check_dim(other)
+        for a_lo, a_hi, b_lo, b_hi in zip(self._lo, self._hi, other._lo, other._hi):
+            if min(a_hi, b_hi) <= max(a_lo, b_lo):
+                return False
+        return True
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely within this box."""
+        self._check_dim(other)
+        for a_lo, a_hi, b_lo, b_hi in zip(self._lo, self._hi, other._lo, other._hi):
+            if b_lo < a_lo or b_hi > a_hi:
+                return False
+        return True
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        if len(point) != self.dim:
+            raise ValueError("dimension mismatch")
+        return all(a <= p <= b for a, p, b in zip(self._lo, point, self._hi))
+
+    # -- constructive operations -------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlapping box, or ``None`` when the boxes are disjoint."""
+        self._check_dim(other)
+        lo = []
+        hi = []
+        for a_lo, a_hi, b_lo, b_hi in zip(self._lo, self._hi, other._lo, other._hi):
+            c_lo = max(a_lo, b_lo)
+            c_hi = min(a_hi, b_hi)
+            if c_lo > c_hi:
+                return None
+            lo.append(c_lo)
+            hi.append(c_hi)
+        return Rect(lo, hi)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Minimum bounding rectangle of the two boxes."""
+        self._check_dim(other)
+        return Rect(
+            [min(a, b) for a, b in zip(self._lo, other._lo)],
+            [max(a, b) for a, b in zip(self._hi, other._hi)],
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this box to cover ``other``.
+
+        This is Guttman's ChooseLeaf criterion: the leaf whose MBR needs the
+        least enlargement receives the new entry.
+        """
+        return self.union(other).area() - self.area()
+
+    def overlap_area(self, other: "Rect") -> float:
+        inter = self.intersection(other)
+        return inter.area() if inter is not None else 0.0
+
+    def expanded(self, amount: float) -> "Rect":
+        """Grow (or shrink, for negative ``amount``) every side symmetrically."""
+        return Rect(
+            [a - amount for a in self._lo],
+            [b + amount for b in self._hi],
+        )
+
+    def translated(self, offset: Sequence[float]) -> "Rect":
+        if len(offset) != self.dim:
+            raise ValueError("dimension mismatch")
+        return Rect(
+            [a + o for a, o in zip(self._lo, offset)],
+            [b + o for b, o in zip(self._hi, offset)],
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _check_dim(self, other: "Rect") -> None:
+        if self.dim != other.dim:
+            raise ValueError(f"dimension mismatch: {self.dim} != {other.dim}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return self._lo == other._lo and self._hi == other._hi
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        """Iterate per-dimension ``(lo, hi)`` extents."""
+        return iter(zip(self._lo, self._hi))
+
+    def __repr__(self) -> str:
+        return f"Rect({self._lo}, {self._hi})"

@@ -1,0 +1,31 @@
+"""A K-D-B-tree and the simpler granular protocol it permits.
+
+Footnote 4 of the paper: "for those index structures where it is always
+possible to split a node into disjoint subspaces (referred to as space
+partitioning data structures) like K-D-B-trees, hb-trees etc., the set of
+leaf granules alone cover the entire embedded space.  Therefore the
+external granules are not required.  Moreover, the granules never overlap
+with each other.  This makes the granular locking approach much simpler
+to apply to space partitioning data structures."
+
+This package makes that concrete:
+
+* :mod:`repro.kdbtree.tree` -- a K-D-B-tree over point data (region
+  nodes partition their parent's region exactly; splits cascade downward
+  through straddling children, as in Robinson's original design);
+* :mod:`repro.kdbtree.index` -- :class:`KDBPhantomIndex`, the simplified
+  protocol: scans S-lock the overlapping leaf *regions*; inserts take one
+  IX + one X (a region never grows -- partitions are data-independent);
+  splits take a short SIX on every leaf region they are about to carve;
+  deletes are logical with a trivially simple deferred pass (regions
+  never shrink either, so no external-granule fences exist at all).
+
+The contrast with the R-tree protocol -- no external granules, no growth
+fences, no inheritance rules -- is measured in
+``benchmarks/bench_kdb_simplicity.py``.
+"""
+
+from repro.kdbtree.tree import KDBTree, KDBConfig, KDBError
+from repro.kdbtree.index import KDBPhantomIndex
+
+__all__ = ["KDBTree", "KDBConfig", "KDBError", "KDBPhantomIndex"]

@@ -1,0 +1,50 @@
+"""A standard multi-granularity lock manager.
+
+This is the "standard lock manager (LM)" the paper's §3 assumes, with the
+two features the protocol needs (following Mohan's conventions, the
+paper's [17]):
+
+* **conditional** lock requests -- return immediately instead of waiting
+  when the lock is not grantable;
+* **unconditional** requests -- wait until grantable;
+* **short duration** locks -- released when the requesting operation ends
+  (:meth:`LockManager.end_operation`);
+* **commit duration** locks -- released at transaction termination.
+
+Lock modes and their compatibilities are exactly the paper's Table 1
+(S, X, IS, IX, SIX).  A transaction may hold several modes on one
+resource; its effective mode is the supremum (e.g. S + IX = SIX), and
+short-duration upgrades fall away again when the operation ends --
+this implements the paper's pattern of taking a *short* SIX on an external
+granule while possibly holding a *commit* S on it.
+
+Deadlocks are detected on a waits-for graph and resolved by aborting the
+youngest transaction in the cycle.
+"""
+
+from repro.lock.modes import LockMode, LockDuration, compatible, supremum, MODE_ORDER
+from repro.lock.resource import ResourceId, Namespace
+from repro.lock.manager import (
+    LockManager,
+    LockRequest,
+    LockError,
+    WouldBlock,
+    DeadlockError,
+    LockTimeout,
+)
+
+__all__ = [
+    "LockMode",
+    "LockDuration",
+    "compatible",
+    "supremum",
+    "MODE_ORDER",
+    "ResourceId",
+    "Namespace",
+    "LockManager",
+    "LockRequest",
+    "LockError",
+    "WouldBlock",
+    "DeadlockError",
+    "LockTimeout",
+]

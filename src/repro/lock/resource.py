@@ -1,0 +1,61 @@
+"""Lock resource names.
+
+The paper stresses that its granules map onto *purely physical* lock
+names: leaf granules are locked by the page id of the leaf node, external
+granules by the page id of the non-leaf node they belong to, and objects
+by their object id.  A namespaced pair keeps those three spaces (plus the
+whole-tree resource used by the Postgres-style baseline) disjoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable
+
+
+class Namespace(enum.Enum):
+    """Disjoint name spaces for the lockable resources."""
+
+    #: a leaf granule, keyed by leaf page id
+    LEAF = "leaf"
+    #: an external granule, keyed by the non-leaf node's page id
+    EXT = "ext"
+    #: a data object, keyed by object id
+    OBJECT = "obj"
+    #: an entire index (tree-level locking baseline), keyed by tree id
+    TREE = "tree"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ResourceId:
+    """A purely physical lock name: ``(namespace, key)``."""
+
+    namespace: Namespace
+    key: Hashable
+
+    @classmethod
+    def leaf(cls, page_id: int) -> "ResourceId":
+        """The leaf granule stored on ``page_id``."""
+        return cls(Namespace.LEAF, page_id)
+
+    @classmethod
+    def ext(cls, page_id: int) -> "ResourceId":
+        """The external granule of the non-leaf node on ``page_id``."""
+        return cls(Namespace.EXT, page_id)
+
+    @classmethod
+    def obj(cls, oid: Hashable) -> "ResourceId":
+        """The data object ``oid``."""
+        return cls(Namespace.OBJECT, oid)
+
+    @classmethod
+    def tree(cls, tree_id: Hashable = 0) -> "ResourceId":
+        """A whole index (used by the tree-level-locking baseline)."""
+        return cls(Namespace.TREE, tree_id)
+
+    def __repr__(self) -> str:
+        return f"{self.namespace.value}:{self.key}"

@@ -1,0 +1,32 @@
+"""Logical write-ahead logging and crash recovery.
+
+The paper assumes a transactional substrate in which commit and rollback
+are real (phantoms are defined partly in terms of "rolling-back deletions
+made by other concurrent transactions").  This package supplies the
+missing durability half: every logical operation of the phantom-protected
+index is appended to a :class:`~repro.recovery.log.WriteAheadLog` before
+it is acknowledged, and :func:`~repro.recovery.recover.recover` rebuilds
+an equivalent index from the log alone -- committed transactions' effects
+replayed (redo), uncommitted ones discarded (losers are implicitly rolled
+back, since logical redo only applies winners).
+
+The log is *logical* (operation-level), not physiological: our pages are
+in-memory objects and the R-tree's physical layout is deterministic only
+per run, so recovery rebuilds the tree by re-inserting committed state.
+That matches how logical logging recovers index structures whose physical
+shape is not semantically meaningful.
+"""
+
+from repro.recovery.log import LogRecord, LogRecordType, WriteAheadLog
+from repro.recovery.logged_index import LoggedIndex
+from repro.recovery.recover import RecoveryReport, analyze, recover
+
+__all__ = [
+    "WriteAheadLog",
+    "LogRecord",
+    "LogRecordType",
+    "LoggedIndex",
+    "recover",
+    "analyze",
+    "RecoveryReport",
+]

@@ -1,0 +1,155 @@
+"""The write-ahead log: an append-only sequence of logical records.
+
+Records serialise to plain dicts (JSON-compatible apart from object ids,
+which may be any hashable -- string/int round-trip exactly).  ``flush``
+models the durability boundary: a crash loses every record appended after
+the last flush, which the crash tests exercise by truncating there.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.geometry import Rect
+
+
+class LogRecordType(enum.Enum):
+    """The logical record kinds."""
+
+    BEGIN = "begin"
+    INSERT = "insert"
+    DELETE = "delete"  # logical delete (tombstone)
+    UPDATE = "update"  # payload update
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logical log record, identified by its LSN."""
+
+    lsn: int
+    type: LogRecordType
+    txn_id: Hashable
+    oid: Optional[Hashable] = None
+    rect: Optional[Rect] = None
+    payload: Any = None
+    #: UPDATE only: the previous payload, for completeness of the record
+    old_payload: Any = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (inverse of :meth:`from_dict`)."""
+        return {
+            "lsn": self.lsn,
+            "type": self.type.value,
+            "txn": self.txn_id,
+            "oid": self.oid,
+            "rect": [list(self.rect.lo), list(self.rect.hi)] if self.rect else None,
+            "payload": self.payload,
+            "old_payload": self.old_payload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LogRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        rect = None
+        if data.get("rect") is not None:
+            lo, hi = data["rect"]
+            rect = Rect(lo, hi)
+        return cls(
+            lsn=data["lsn"],
+            type=LogRecordType(data["type"]),
+            txn_id=data["txn"],
+            oid=data.get("oid"),
+            rect=rect,
+            payload=data.get("payload"),
+            old_payload=data.get("old_payload"),
+        )
+
+
+class WriteAheadLog:
+    """Append-only log with an explicit durability horizon."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._lsn = itertools.count(1)
+        self._records: List[LogRecord] = []
+        #: index into _records up to which records are durable
+        self._flushed = 0
+        self.flush_count = 0
+
+    def append(
+        self,
+        type: LogRecordType,
+        txn_id: Hashable,
+        oid: Optional[Hashable] = None,
+        rect: Optional[Rect] = None,
+        payload: Any = None,
+        old_payload: Any = None,
+    ) -> LogRecord:
+        with self._mutex:
+            record = LogRecord(next(self._lsn), type, txn_id, oid, rect, payload, old_payload)
+            self._records.append(record)
+            return record
+
+    def flush(self) -> int:
+        """Make everything appended so far durable; returns the last LSN."""
+        with self._mutex:
+            self._flushed = len(self._records)
+            self.flush_count += 1
+            return self._records[-1].lsn if self._records else 0
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self, durable_only: bool = False) -> List[LogRecord]:
+        """The log contents, optionally truncated to the durable prefix."""
+        with self._mutex:
+            upto = self._flushed if durable_only else len(self._records)
+            return list(self._records[:upto])
+
+    def crash(self) -> "WriteAheadLog":
+        """A crash: a new log containing only the durable prefix."""
+        survivor = WriteAheadLog()
+        for record in self.records(durable_only=True):
+            survivor._records.append(record)
+        survivor._flushed = len(survivor._records)
+        last = survivor._records[-1].lsn if survivor._records else 0
+        survivor._lsn = itertools.count(last + 1)
+        return survivor
+
+    # -- serialisation --------------------------------------------------------
+
+    def dumps(self, durable_only: bool = True) -> str:
+        """Serialise as JSON lines (one record per line)."""
+        return "\n".join(
+            json.dumps(r.to_dict()) for r in self.records(durable_only=durable_only)
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "WriteAheadLog":
+        """Rebuild a log from :meth:`dumps` output (everything durable)."""
+        log = cls()
+        last = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = LogRecord.from_dict(json.loads(line))
+            log._records.append(record)
+            last = record.lsn
+        log._flushed = len(log._records)
+        log._lsn = itertools.count(last + 1)
+        return log
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog({len(self._records)} records, {self._flushed} durable)"

@@ -1,0 +1,51 @@
+"""R-tree node entries.
+
+Leaf entries carry data objects; child entries point at lower nodes.  A
+leaf entry can be *tombstoned*: the paper performs deletes logically (the
+deleter marks the object and holds its locks until commit; physical
+removal runs later as a separate deferred operation, §3.6--3.7).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.geometry import Rect
+from repro.storage.page import PageId
+
+ObjectId = Hashable
+
+
+class LeafEntry:
+    """A data entry ``(oid, rect)`` stored in a leaf node."""
+
+    __slots__ = ("oid", "rect", "tombstone")
+
+    def __init__(self, oid: ObjectId, rect: Rect, tombstone: bool = False) -> None:
+        self.oid = oid
+        self.rect = rect
+        #: Set by a logical delete; cleared again if the deleter aborts.
+        self.tombstone = tombstone
+
+    def copy(self) -> "LeafEntry":
+        return LeafEntry(self.oid, self.rect, self.tombstone)
+
+    def __repr__(self) -> str:
+        flag = ", tombstone" if self.tombstone else ""
+        return f"LeafEntry({self.oid!r}, {self.rect}{flag})"
+
+
+class ChildEntry:
+    """An index entry ``(mbr, child page id)`` stored in a non-leaf node."""
+
+    __slots__ = ("rect", "child_id")
+
+    def __init__(self, rect: Rect, child_id: PageId) -> None:
+        self.rect = rect
+        self.child_id = child_id
+
+    def copy(self) -> "ChildEntry":
+        return ChildEntry(self.rect, self.child_id)
+
+    def __repr__(self) -> str:
+        return f"ChildEntry({self.rect} -> page {self.child_id})"

@@ -1,0 +1,235 @@
+"""Node-split algorithms.
+
+All four classic algorithms are provided; the tree takes the algorithm as
+configuration.  Each function receives the overflowing entry list (original
+entries plus the new one) and the minimum fill ``m``, and returns two
+non-empty groups each holding at least ``m`` entries.
+
+* :func:`quadratic_split` -- Guttman's quadratic algorithm (the default;
+  the paper's experiments use plain Guttman R-trees).
+* :func:`linear_split` -- Guttman's linear algorithm.
+* :func:`rstar_split` -- the R*-tree axis/index choice by margin then
+  overlap (Beckmann et al.).
+* :func:`greene_split` -- Greene's axis-choice split (Greene 1989).
+
+The latter three exist because the paper names the variants explicitly
+("R+trees, R*-trees, Greene's R-tree") and notes the protocol applies to
+all of them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.geometry import Rect
+
+# The split functions are generic over entry type; they only look at `.rect`.
+SplitResult = Tuple[list, list]
+SplitFunction = Callable[[Sequence, int], SplitResult]
+
+
+def _rects(entries: Sequence) -> List[Rect]:
+    return [e.rect for e in entries]
+
+
+def quadratic_split(entries: Sequence, min_fill: int) -> SplitResult:
+    """Guttman's quadratic split.
+
+    Pick the pair of entries that would waste the most area if grouped
+    together as seeds, then repeatedly assign the entry with the greatest
+    preference for one group (PickNext).
+    """
+    n = len(entries)
+    if n < 2 * min_fill:
+        raise ValueError(f"cannot split {n} entries with min fill {min_fill}")
+
+    # PickSeeds: maximise dead area of the pair's bounding box.
+    worst = -float("inf")
+    seed_a, seed_b = 0, 1
+    for i in range(n):
+        for j in range(i + 1, n):
+            waste = (
+                entries[i].rect.union(entries[j].rect).area()
+                - entries[i].rect.area()
+                - entries[j].rect.area()
+            )
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+
+    group_a: list = [entries[seed_a]]
+    group_b: list = [entries[seed_b]]
+    mbr_a = entries[seed_a].rect
+    mbr_b = entries[seed_b].rect
+    remaining = [entries[k] for k in range(n) if k not in (seed_a, seed_b)]
+
+    while remaining:
+        # If one group must take everything left to reach min fill, do so.
+        if len(group_a) + len(remaining) == min_fill:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_fill:
+            group_b.extend(remaining)
+            break
+
+        # PickNext: entry with maximum |d_a - d_b| where d_x is the
+        # enlargement of group x's MBR.
+        best_idx = 0
+        best_diff = -1.0
+        best_da = best_db = 0.0
+        for idx, entry in enumerate(remaining):
+            d_a = mbr_a.enlargement(entry.rect)
+            d_b = mbr_b.enlargement(entry.rect)
+            diff = abs(d_a - d_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = idx
+                best_da, best_db = d_a, d_b
+        entry = remaining.pop(best_idx)
+        # Resolve ties by smaller area, then fewer entries (Guttman).
+        if best_da < best_db:
+            choose_a = True
+        elif best_db < best_da:
+            choose_a = False
+        elif mbr_a.area() != mbr_b.area():
+            choose_a = mbr_a.area() < mbr_b.area()
+        else:
+            choose_a = len(group_a) <= len(group_b)
+        if choose_a:
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+
+    return group_a, group_b
+
+
+def linear_split(entries: Sequence, min_fill: int) -> SplitResult:
+    """Guttman's linear split: seeds by greatest normalised separation."""
+    n = len(entries)
+    if n < 2 * min_fill:
+        raise ValueError(f"cannot split {n} entries with min fill {min_fill}")
+    dim = entries[0].rect.dim
+
+    best_sep = -float("inf")
+    seed_a, seed_b = 0, 1
+    for axis in range(dim):
+        # Highest low side and lowest high side.
+        high_low_idx = max(range(n), key=lambda k: entries[k].rect.lo[axis])
+        low_high_idx = min(range(n), key=lambda k: entries[k].rect.hi[axis])
+        if high_low_idx == low_high_idx:
+            continue
+        width = max(e.rect.hi[axis] for e in entries) - min(e.rect.lo[axis] for e in entries)
+        if width <= 0:
+            continue
+        sep = (
+            entries[high_low_idx].rect.lo[axis] - entries[low_high_idx].rect.hi[axis]
+        ) / width
+        if sep > best_sep:
+            best_sep = sep
+            seed_a, seed_b = high_low_idx, low_high_idx
+
+    group_a: list = [entries[seed_a]]
+    group_b: list = [entries[seed_b]]
+    mbr_a = entries[seed_a].rect
+    mbr_b = entries[seed_b].rect
+    remaining = [entries[k] for k in range(n) if k not in (seed_a, seed_b)]
+
+    for pos, entry in enumerate(remaining):
+        left_overs = len(remaining) - pos
+        if len(group_a) + left_overs == min_fill:
+            group_a.extend(remaining[pos:])
+            break
+        if len(group_b) + left_overs == min_fill:
+            group_b.extend(remaining[pos:])
+            break
+        if mbr_a.enlargement(entry.rect) <= mbr_b.enlargement(entry.rect):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+
+    return group_a, group_b
+
+
+def rstar_split(entries: Sequence, min_fill: int) -> SplitResult:
+    """R*-tree split: choose the axis with least total margin, then the
+    distribution with least overlap (area as tie-break)."""
+    n = len(entries)
+    if n < 2 * min_fill:
+        raise ValueError(f"cannot split {n} entries with min fill {min_fill}")
+    dim = entries[0].rect.dim
+
+    best_axis = 0
+    best_margin = float("inf")
+    for axis in range(dim):
+        margin_sum = 0.0
+        for sort_key in (lambda e: (e.rect.lo[axis], e.rect.hi[axis]),
+                         lambda e: (e.rect.hi[axis], e.rect.lo[axis])):
+            ordered = sorted(entries, key=sort_key)
+            for k in range(min_fill, n - min_fill + 1):
+                left = Rect.bounding(_rects(ordered[:k]))
+                right = Rect.bounding(_rects(ordered[k:]))
+                margin_sum += left.margin() + right.margin()
+        if margin_sum < best_margin:
+            best_margin = margin_sum
+            best_axis = axis
+
+    best_groups: SplitResult | None = None
+    best_overlap = float("inf")
+    best_area = float("inf")
+    for sort_key in (lambda e: (e.rect.lo[best_axis], e.rect.hi[best_axis]),
+                     lambda e: (e.rect.hi[best_axis], e.rect.lo[best_axis])):
+        ordered = sorted(entries, key=sort_key)
+        for k in range(min_fill, n - min_fill + 1):
+            left = Rect.bounding(_rects(ordered[:k]))
+            right = Rect.bounding(_rects(ordered[k:]))
+            overlap = left.overlap_area(right)
+            area = left.area() + right.area()
+            if overlap < best_overlap or (overlap == best_overlap and area < best_area):
+                best_overlap = overlap
+                best_area = area
+                best_groups = (list(ordered[:k]), list(ordered[k:]))
+
+    assert best_groups is not None
+    return best_groups
+
+
+def greene_split(entries: Sequence, min_fill: int) -> SplitResult:
+    """Greene's split (Greene 1989), the third R-tree variant the paper
+    names: pick the most-separated seed pair (as in the linear algorithm),
+    choose the axis where the seeds' normalised separation is largest,
+    sort all entries along it and cut the sorted list in half."""
+    n = len(entries)
+    if n < 2 * min_fill:
+        raise ValueError(f"cannot split {n} entries with min fill {min_fill}")
+    dim = entries[0].rect.dim
+
+    best_axis = 0
+    best_sep = -float("inf")
+    for axis in range(dim):
+        high_low = max(e.rect.lo[axis] for e in entries)
+        low_high = min(e.rect.hi[axis] for e in entries)
+        width = max(e.rect.hi[axis] for e in entries) - min(e.rect.lo[axis] for e in entries)
+        if width <= 0:
+            continue
+        sep = (high_low - low_high) / width
+        if sep > best_sep:
+            best_sep = sep
+            best_axis = axis
+
+    ordered = sorted(entries, key=lambda e: (e.rect.lo[best_axis], e.rect.hi[best_axis]))
+    half = n // 2
+    # respect the minimum fill even for odd splits
+    half = max(min_fill, min(half, n - min_fill))
+    return list(ordered[:half]), list(ordered[half:])
+
+
+SPLIT_ALGORITHMS: Dict[str, SplitFunction] = {
+    "quadratic": quadratic_split,
+    "linear": linear_split,
+    "rstar": rstar_split,
+    "greene": greene_split,
+}

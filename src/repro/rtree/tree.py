@@ -1,0 +1,670 @@
+"""The page-based Guttman R-tree.
+
+Besides the classic operations (insert / delete / search), the tree offers
+*planning* calls that predict the structural consequences of a mutation
+without performing it.  The DGL protocol needs those predictions because
+the paper's Table 3 acquires short-duration locks *before* granules grow,
+shrink or split:
+
+* :meth:`RTree.plan_insert` -- which leaf receives the object, whether the
+  leaf granule will grow or split, and which ancestors' external granules
+  will change.
+* :meth:`RTree.plan_delete` -- which leaf holds the object, whether the
+  node would underflow, and which ancestors' BRs would shrink.
+
+Plans carry page-version stamps; the protocol re-validates a plan after
+any blocking lock wait and re-plans if the tree moved underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry import Rect
+from repro.rtree.entry import ChildEntry, LeafEntry, ObjectId
+from repro.rtree.node import Entry, Node
+from repro.rtree.report import GrowthRecord, ReinsertRecord, SMOReport, SplitRecord
+from repro.rtree.splits import SPLIT_ALGORITHMS, SplitFunction
+from repro.storage.page import INVALID_PAGE, PageId
+from repro.storage.pager import PageManager
+
+
+class RTreeError(Exception):
+    """Raised on malformed operations (e.g. deleting a missing object)."""
+
+
+@dataclass(frozen=True)
+class RTreeConfig:
+    """Structural parameters.
+
+    ``max_entries`` is the paper's *fanout*; ``min_entries`` defaults to
+    40% of it (Guttman allows any m <= M/2).  ``universe`` is the embedded
+    space ``S``: the space the root's external granule extends to.
+    """
+
+    max_entries: int = 50
+    min_entries: int = 0  # 0 -> derive as max(2, 40% of max_entries)
+    split_algorithm: str = "quadratic"
+    universe: Rect = Rect((0.0, 0.0), (1.0, 1.0))
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        derived = self.min_entries or max(2, int(round(self.max_entries * 0.4)))
+        if derived > self.max_entries // 2:
+            raise ValueError("min_entries must not exceed max_entries / 2")
+        object.__setattr__(self, "min_entries", derived)
+        if self.split_algorithm not in SPLIT_ALGORITHMS:
+            raise ValueError(f"unknown split algorithm {self.split_algorithm!r}")
+
+    @property
+    def split_fn(self) -> SplitFunction:
+        """The configured node-split algorithm."""
+        return SPLIT_ALGORITHMS[self.split_algorithm]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the embedded space."""
+        return self.universe.dim
+
+
+@dataclass
+class InsertPlan:
+    """Predicted consequences of inserting ``rect`` (see module docstring).
+
+    Also used for orphan re-insertions at higher levels (``target_level >
+    0``): the ``leaf_*`` fields then describe the target *node* rather
+    than a leaf.
+    """
+
+    rect: Rect
+    #: page ids on the chosen insertion path, root first, target last
+    path_ids: List[PageId]
+    #: level of the node receiving the entry (0 for ordinary inserts)
+    target_level: int = 0
+    #: the granule that will receive (and afterwards cover) the object
+    leaf_id: PageId = INVALID_PAGE
+    #: leaf MBR before the insertion (None for an empty leaf)
+    leaf_old_mbr: Optional[Rect] = None
+    #: will the leaf granule's boundary grow?
+    leaf_grows: bool = False
+    #: will the leaf node split?
+    leaf_splits: bool = False
+    #: path page ids (non-leaf) whose node will split, bottom-up
+    splitting_ancestors: List[PageId] = field(default_factory=list)
+    #: path page ids whose *external granule* changes (parents of growing
+    #: or splitting path nodes), i.e. the SIX set of Table 3
+    changed_external_parents: List[PageId] = field(default_factory=list)
+    #: page versions observed while planning, for re-validation
+    versions: Dict[PageId, int] = field(default_factory=dict)
+
+    @property
+    def changes_boundaries(self) -> bool:
+        """Will this insertion move any granule boundary (§3.4's metric)?"""
+        return self.leaf_grows or self.leaf_splits
+
+
+@dataclass
+class DeletePlan:
+    """Predicted consequences of physically deleting an object."""
+
+    oid: ObjectId
+    rect: Rect
+    path_ids: List[PageId]
+    leaf_id: PageId
+    #: node would drop below min fill and be eliminated
+    underflows: bool
+    #: path page ids whose external granule may change (BR shrink), the
+    #: SIX set of §3.7; conservative when elimination cascades
+    changed_external_parents: List[PageId] = field(default_factory=list)
+    #: rectangles of the entries that node elimination would orphan and
+    #: re-insert (the protocol fences these regions before mutating)
+    orphan_rects: List[Rect] = field(default_factory=list)
+    versions: Dict[PageId, int] = field(default_factory=dict)
+
+
+class RTree:
+    """A Guttman R-tree over a :class:`~repro.storage.pager.PageManager`."""
+
+    def __init__(self, config: Optional[RTreeConfig] = None, pager: Optional[PageManager] = None) -> None:
+        self.config = config if config is not None else RTreeConfig()
+        self.pager = pager if pager is not None else PageManager()
+        root_page = self.pager.allocate()
+        root_page.payload = Node(root_page.page_id, level=0)
+        self.root_id: PageId = root_page.page_id
+        self._size = 0  # live (non-tombstoned) data entries
+
+    # ------------------------------------------------------------------
+    # node access
+    # ------------------------------------------------------------------
+
+    def node(self, page_id: PageId, count_io: bool = True) -> Node:
+        """Fetch the node stored on ``page_id``.
+
+        ``count_io=False`` bypasses the buffer-pool accounting; use it only
+        for bookkeeping that a real system would do without extra I/O
+        (e.g. re-touching a node already pinned by the current operation).
+        """
+        if count_io:
+            page = self.pager.read(page_id)
+            node: Node = page.payload
+            # Attribute the access to the paper's top-down level numbering
+            # (root = 1, lowest index level = tree height).
+            self.pager.stats.reads_per_level[self.height - node.level] += 1
+            return node
+        return self.pager.peek(page_id).payload
+
+    def root(self, count_io: bool = True) -> Node:
+        """The root node."""
+        return self.node(self.root_id, count_io)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a single leaf root has height 1)."""
+        return self.pager.peek(self.root_id).payload.level + 1
+
+    @property
+    def size(self) -> int:
+        """Number of live (non-tombstoned) data entries."""
+        return self._size
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(self, rect: Rect, include_tombstones: bool = False) -> List[LeafEntry]:
+        """All data entries whose rectangle overlaps ``rect``."""
+        results: List[LeafEntry] = []
+        for leaf in self._overlapping_leaf_nodes(rect):
+            for entry in leaf.entries:
+                if entry.rect.intersects(rect) and (include_tombstones or not entry.tombstone):
+                    results.append(entry)  # type: ignore[arg-type]
+        return results
+
+    def search_point(self, point: Sequence[float]) -> List[LeafEntry]:
+        """All data entries whose rectangle contains the point."""
+        return self.search(Rect.from_point(point))
+
+    def find_entry(self, oid: ObjectId, rect: Rect) -> Optional[Tuple[PageId, LeafEntry]]:
+        """Locate the data entry for ``oid`` (FindLeaf); ``rect`` guides the
+        traversal and must equal the rectangle the object was stored with."""
+        for leaf in self._overlapping_leaf_nodes(rect):
+            entry = leaf.find_entry(oid)
+            if entry is not None:
+                return leaf.page_id, entry
+        return None
+
+    def overlapping_leaf_ids(self, rect: Rect) -> List[PageId]:
+        """Page ids of all leaf granules overlapping ``rect``.
+
+        The traversal reads only non-leaf nodes: a parent stores the MBRs
+        of its children, so leaf-granule overlap is decided one level up --
+        this is why the paper notes an inserter "never needs to access the
+        lowest level index nodes" when taking its short-duration locks.
+        """
+        root = self.root()
+        if root.is_leaf:
+            mbr = root.mbr()
+            return [root.page_id] if mbr is not None and mbr.intersects(rect) else []
+        result: List[PageId] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if not entry.rect.intersects(rect):
+                    continue
+                if node.level == 1:
+                    result.append(entry.child_id)  # type: ignore[union-attr]
+                else:
+                    stack.append(self.node(entry.child_id))  # type: ignore[union-attr]
+        return result
+
+    def _overlapping_leaf_nodes(self, rect: Rect) -> Iterator[Node]:
+        stack = [self.root()]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+                continue
+            for entry in node.entries:
+                if entry.rect.intersects(rect):
+                    stack.append(self.node(entry.child_id))  # type: ignore[union-attr]
+
+    def iter_leaves(self) -> Iterator[Node]:
+        """Every leaf node, without I/O accounting (validator use)."""
+        stack = [self.pager.peek(self.root_id).payload]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                for entry in node.entries:
+                    stack.append(self.pager.peek(entry.child_id).payload)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Every node, without I/O accounting."""
+        stack = [self.pager.peek(self.root_id).payload]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                for entry in node.entries:
+                    stack.append(self.pager.peek(entry.child_id).payload)
+
+    def all_entries(self, include_tombstones: bool = False) -> List[LeafEntry]:
+        """Every data entry in the tree, without I/O accounting."""
+        out: List[LeafEntry] = []
+        for leaf in self.iter_leaves():
+            for entry in leaf.entries:
+                if include_tombstones or not entry.tombstone:
+                    out.append(entry)  # type: ignore[arg-type]
+        return out
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    def plan_insert(self, rect: Rect, target_level: int = 0) -> InsertPlan:
+        """Predict the structural effect of inserting ``rect`` (no mutation).
+
+        ``target_level > 0`` plans an orphan subtree re-insertion: the
+        entry lands in a node at that level instead of a leaf.
+        """
+        path = self._choose_path(rect, target_level=target_level)
+        plan = InsertPlan(
+            rect=rect, path_ids=[n.page_id for n in path], target_level=target_level
+        )
+        leaf = path[-1]
+        plan.leaf_id = leaf.page_id
+        plan.leaf_old_mbr = leaf.mbr()
+        plan.leaf_grows = plan.leaf_old_mbr is None or not plan.leaf_old_mbr.contains(rect)
+        plan.leaf_splits = len(leaf.entries) + 1 > self.config.max_entries
+
+        # Split cascade: a node splits when its child below splits and the
+        # extra entry overflows it.
+        splits_below = plan.leaf_splits
+        node_splits: Dict[PageId, bool] = {leaf.page_id: plan.leaf_splits}
+        for node in reversed(path[:-1]):
+            will_split = splits_below and len(node.entries) + 1 > self.config.max_entries
+            node_splits[node.page_id] = will_split
+            splits_below = will_split
+            if will_split:
+                plan.splitting_ancestors.append(node.page_id)
+
+        # A node's MBR grows exactly when the object escapes it (the new
+        # MBR is old ∪ rect at every level of the path).
+        grows: Dict[PageId, bool] = {}
+        for node in path:
+            mbr = node.mbr()
+            grows[node.page_id] = mbr is None or not mbr.contains(rect)
+        grows[leaf.page_id] = plan.leaf_grows
+
+        # ext(P) changes for every path node P whose on-path child grows or
+        # splits -- the short-duration SIX set of Table 3.
+        for parent, child in zip(path[:-1], path[1:]):
+            if grows[child.page_id] or node_splits[child.page_id]:
+                plan.changed_external_parents.append(parent.page_id)
+
+        # A subtree re-insertion adds a child entry to the target node
+        # itself, shrinking the target's own external granule (§3.7).
+        if target_level > 0:
+            plan.changed_external_parents.append(leaf.page_id)
+
+        plan.versions = self._stamp_versions(plan.path_ids)
+        return plan
+
+    def plan_delete(self, oid: ObjectId, rect: Rect) -> Optional[DeletePlan]:
+        """Predict the structural effect of physically removing ``oid``."""
+        located = self._find_path_to(oid, rect)
+        if located is None:
+            return None
+        path = located
+        leaf = path[-1]
+        underflows = len(leaf.entries) - 1 < self.config.min_entries and not leaf.is_root
+        plan = DeletePlan(
+            oid=oid,
+            rect=rect,
+            path_ids=[n.page_id for n in path],
+            leaf_id=leaf.page_id,
+            underflows=underflows,
+        )
+        if underflows:
+            # Elimination may cascade; conservatively take the whole path,
+            # and predict which entries would be orphaned so the caller can
+            # fence their regions before the structure moves.
+            plan.changed_external_parents = [n.page_id for n in path[:-1]]
+            plan.orphan_rects.extend(
+                e.rect for e in leaf.entries if e.oid != oid  # type: ignore[union-attr]
+            )
+            doomed = leaf
+            for node in reversed(path[:-1]):
+                # ``node`` loses its doomed child; does it underflow too?
+                if node is path[0] or len(node.entries) - 1 >= self.config.min_entries:
+                    break
+                plan.orphan_rects.extend(
+                    e.rect for e in node.entries if e.child_id != doomed.page_id  # type: ignore[union-attr]
+                )
+                doomed = node
+        else:
+            # The leaf shrinks only when the object touched its boundary;
+            # each ancestor's BR shrinks only if its child's did.
+            entry = leaf.find_entry(oid)
+            assert entry is not None
+            remaining = [e.rect for e in leaf.entries if e is not entry]
+            new_mbr = Rect.bounding(remaining) if remaining else None
+            child_changed = new_mbr != leaf.mbr()
+            child_new = new_mbr
+            for parent, child in zip(reversed(path[:-1]), reversed(path[1:])):
+                if not child_changed:
+                    break
+                plan.changed_external_parents.append(parent.page_id)
+                sibling_rects = [
+                    e.rect for e in parent.entries if e.child_id != child.page_id  # type: ignore[union-attr]
+                ]
+                if child_new is not None:
+                    sibling_rects.append(child_new)
+                parent_new = Rect.bounding(sibling_rects) if sibling_rects else None
+                child_changed = parent_new != parent.mbr()
+                child_new = parent_new
+        plan.versions = self._stamp_versions(plan.path_ids)
+        return plan
+
+    def plan_is_current(self, versions: Dict[PageId, int]) -> bool:
+        """Check whether any planned-over page changed or vanished."""
+        for page_id, version in versions.items():
+            if not self.pager.exists(page_id):
+                return False
+            if self.pager.peek(page_id).version != version:
+                return False
+        return True
+
+    def _stamp_versions(self, page_ids: Sequence[PageId]) -> Dict[PageId, int]:
+        return {pid: self.pager.peek(pid).version for pid in page_ids}
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, oid: ObjectId, rect: Rect) -> SMOReport:
+        """Insert a data object.  Duplicate oids are rejected."""
+        if rect.dim != self.config.dim:
+            raise RTreeError(f"object dimension {rect.dim} != tree dimension {self.config.dim}")
+        if self.find_entry(oid, rect) is not None:
+            raise RTreeError(f"duplicate object id {oid!r}")
+        report = self._insert_entry(LeafEntry(oid, rect), target_level=0)
+        self._size += 1
+        return report
+
+    def reinsert_entry(self, entry: Entry, target_level: int) -> SMOReport:
+        """Re-insert an orphan collected by ``delete(collect_orphans=True)``.
+
+        A re-inserted data entry keeps its identity (including a tombstone
+        flag); a re-inserted child entry re-attaches its whole subtree.
+        """
+        report = self._insert_entry(entry, target_level)
+        if isinstance(entry, LeafEntry) and report.target_leaf is not None:
+            report.reinserted.append(ReinsertRecord(entry, report.target_leaf))
+        return report
+
+    def _insert_entry(self, entry: Entry, target_level: int) -> SMOReport:
+        report = SMOReport()
+        path = self._choose_path(entry.rect, target_level)
+        old_mbrs = {n.page_id: n.mbr() for n in path}
+        target = path[-1]
+        report.target_leaf = target.page_id if target.is_leaf else None
+
+        target.entries.append(entry)
+        if isinstance(entry, ChildEntry):
+            child = self.pager.peek(entry.child_id).payload
+            child.parent_id = target.page_id
+        self.pager.write(target.page_id)
+
+        self._adjust_upward(path, report)
+
+        for node_id in [n.page_id for n in path]:
+            if not self.pager.exists(node_id):
+                continue  # replaced by a split bookkeeping path; splits recorded separately
+            node = self.pager.peek(node_id).payload
+            new_mbr = node.mbr()
+            if new_mbr != old_mbrs.get(node_id):
+                report.growth.append(
+                    GrowthRecord(node_id, node.level, old_mbrs.get(node_id), new_mbr)
+                )
+        return report
+
+    def _adjust_upward(self, path: List[Node], report: SMOReport) -> None:
+        """AdjustTree: propagate MBR updates and splits from leaf to root."""
+        idx = len(path) - 1
+        while idx >= 0:
+            node = path[idx]
+            if len(node.entries) > self.config.max_entries:
+                right = self._split_node(node, report)
+                if idx == 0:
+                    self._grow_root(node, right, report)
+                else:
+                    parent = path[idx - 1]
+                    ce = parent.child_entry(node.page_id)
+                    assert ce is not None
+                    ce.rect = node.mbr()  # type: ignore[assignment]
+                    parent.entries.append(ChildEntry(right.mbr(), right.page_id))  # type: ignore[arg-type]
+                    right.parent_id = parent.page_id
+                    self.pager.write(parent.page_id)
+            elif idx > 0:
+                parent = path[idx - 1]
+                ce = parent.child_entry(node.page_id)
+                assert ce is not None
+                new_mbr = node.mbr()
+                assert new_mbr is not None
+                if ce.rect != new_mbr:
+                    ce.rect = new_mbr
+                    self.pager.write(parent.page_id)
+            idx -= 1
+
+    def _split_node(self, node: Node, report: SMOReport) -> Node:
+        """Split an overflowing node in place; returns the new right node."""
+        old_mbr = node.mbr()
+        left_entries, right_entries = self.config.split_fn(node.entries, self.config.min_entries)
+        right_page = self.pager.allocate()
+        right = Node(right_page.page_id, node.level, parent_id=node.parent_id)
+        right_page.payload = right
+        node.entries = list(left_entries)
+        right.entries = list(right_entries)
+        if not node.is_leaf:
+            for entry in right.entries:
+                child = self.pager.peek(entry.child_id).payload  # type: ignore[union-attr]
+                child.parent_id = right.page_id
+        self.pager.write(node.page_id)
+        self.pager.write(right.page_id)
+        left_mbr = node.mbr()
+        right_mbr = right.mbr()
+        assert left_mbr is not None and right_mbr is not None
+        report.splits.append(
+            SplitRecord(
+                old_id=node.page_id,
+                left_id=node.page_id,
+                right_id=right.page_id,
+                level=node.level,
+                old_mbr=old_mbr,
+                left_mbr=left_mbr,
+                right_mbr=right_mbr,
+            )
+        )
+        return right
+
+    def _grow_root(self, left: Node, right: Node, report: SMOReport) -> None:
+        root_page = self.pager.allocate()
+        new_root = Node(root_page.page_id, level=left.level + 1)
+        root_page.payload = new_root
+        left_mbr = left.mbr()
+        right_mbr = right.mbr()
+        assert left_mbr is not None and right_mbr is not None
+        new_root.entries = [ChildEntry(left_mbr, left.page_id), ChildEntry(right_mbr, right.page_id)]
+        left.parent_id = new_root.page_id
+        right.parent_id = new_root.page_id
+        self.root_id = new_root.page_id
+        self.pager.write(new_root.page_id)
+        report.new_root = new_root.page_id
+
+    def _choose_path(self, rect: Rect, target_level: int) -> List[Node]:
+        """ChooseLeaf / ChooseSubtree descending by least enlargement."""
+        node = self.root()
+        path = [node]
+        while node.level > target_level:
+            best_entry: Optional[ChildEntry] = None
+            best_enlargement = float("inf")
+            best_area = float("inf")
+            for entry in node.entries:
+                enlargement = entry.rect.enlargement(rect)
+                area = entry.rect.area()
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best_entry = entry  # type: ignore[assignment]
+                    best_enlargement = enlargement
+                    best_area = area
+            assert best_entry is not None, "non-leaf node with no entries"
+            node = self.node(best_entry.child_id)
+            path.append(node)
+        if node.level != target_level:
+            raise RTreeError(
+                f"cannot reach level {target_level}; tree height is {self.height}"
+            )
+        return path
+
+    def _find_path_to(self, oid: ObjectId, rect: Rect) -> Optional[List[Node]]:
+        """Root-to-leaf path of the leaf containing ``oid``, or ``None``."""
+
+        def descend(node: Node, trail: List[Node]) -> Optional[List[Node]]:
+            trail = trail + [node]
+            if node.is_leaf:
+                return trail if node.find_entry(oid) is not None else None
+            for entry in node.entries:
+                if entry.rect.intersects(rect):
+                    found = descend(self.node(entry.child_id), trail)  # type: ignore[union-attr]
+                    if found is not None:
+                        return found
+            return None
+
+        return descend(self.root(), [])
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def set_tombstone(self, oid: ObjectId, rect: Rect, value: bool) -> PageId:
+        """Mark (or unmark) an object logically deleted.
+
+        Tombstoning never moves a granule boundary; the physical removal
+        happens later via :meth:`delete`.
+        """
+        located = self.find_entry(oid, rect)
+        if located is None:
+            raise RTreeError(f"object {oid!r} not found")
+        leaf_id, entry = located
+        if entry.tombstone == value:
+            raise RTreeError(f"object {oid!r} tombstone already {value}")
+        entry.tombstone = value
+        self.pager.write(leaf_id)
+        self._size += -1 if value else 1
+        return leaf_id
+
+    def delete(self, oid: ObjectId, rect: Rect, collect_orphans: bool = False) -> SMOReport:
+        """Physically remove an object (Guttman's Delete with CondenseTree).
+
+        With ``collect_orphans=True`` the entries of eliminated nodes are
+        *not* re-inserted here; they are returned in ``report.orphans`` as
+        ``(entry, target_level)`` pairs so the locking protocol can
+        re-insert each one under its own locks (§3.7).  The caller must
+        re-insert them all or the objects are lost.
+        """
+        path = self._find_path_to(oid, rect)
+        if path is None:
+            raise RTreeError(f"object {oid!r} not found")
+        leaf = path[-1]
+        entry = leaf.find_entry(oid)
+        assert entry is not None
+        if not entry.tombstone:
+            self._size -= 1
+        report = SMOReport(target_leaf=leaf.page_id)
+        old_mbrs = {n.page_id: n.mbr() for n in path}
+        leaf.entries.remove(entry)
+        self.pager.write(leaf.page_id)
+
+        self._condense(path, report, collect_orphans=collect_orphans)
+
+        for node_id, old in old_mbrs.items():
+            if not self.pager.exists(node_id):
+                continue
+            node = self.pager.peek(node_id).payload
+            new = node.mbr()
+            if new != old:
+                report.growth.append(GrowthRecord(node_id, node.level, old, new))
+
+        self._shrink_root(report)
+        return report
+
+    def _condense(self, path: List[Node], report: SMOReport, collect_orphans: bool = False) -> None:
+        """CondenseTree: eliminate underfull nodes bottom-up, re-insert orphans."""
+        eliminated: List[Node] = []
+        idx = len(path) - 1
+        while idx > 0:
+            node = path[idx]
+            parent = path[idx - 1]
+            if len(node.entries) < self.config.min_entries:
+                parent.remove_child(node.page_id)
+                eliminated.append(node)
+                self.pager.write(parent.page_id)
+            else:
+                ce = parent.child_entry(node.page_id)
+                assert ce is not None
+                new_mbr = node.mbr()
+                assert new_mbr is not None
+                if ce.rect != new_mbr:
+                    ce.rect = new_mbr
+                    self.pager.write(parent.page_id)
+            idx -= 1
+
+        for node in eliminated:
+            report.eliminated.append(node.page_id)
+            self.pager.free(node.page_id)
+
+        # Orphans: data entries go back at the leaf level, subtrees at the
+        # level that keeps all leaves aligned.
+        for node in eliminated:
+            for entry in node.entries:
+                if isinstance(entry, LeafEntry):
+                    target_level = 0
+                else:
+                    child = self.pager.peek(entry.child_id).payload
+                    target_level = child.level + 1
+                if collect_orphans:
+                    report.orphans.append((entry, target_level))
+                else:
+                    sub = self._insert_entry(entry, target_level=target_level)
+                    if isinstance(entry, LeafEntry):
+                        assert sub.target_leaf is not None
+                        report.reinserted.append(ReinsertRecord(entry, sub.target_leaf))
+                    report.merge(sub)
+
+    def _shrink_root(self, report: SMOReport) -> None:
+        while True:
+            root = self.pager.peek(self.root_id).payload
+            if root.is_leaf or len(root.entries) != 1:
+                break
+            child_id = root.entries[0].child_id  # type: ignore[union-attr]
+            child = self.pager.peek(child_id).payload
+            child.parent_id = INVALID_PAGE
+            self.pager.free(root.page_id)
+            report.eliminated.append(root.page_id)
+            self.root_id = child_id
+            report.new_root = child_id
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(size={self._size}, height={self.height}, "
+            f"fanout={self.config.max_entries}, split={self.config.split_algorithm!r})"
+        )

@@ -1,0 +1,37 @@
+"""Pages: the unit of storage, buffering and I/O accounting.
+
+A page carries an arbitrary Python payload (an R-tree node) instead of raw
+bytes; serialisation is not the phenomenon under study, page *access
+counts* are.  The page records a monotonically increasing LSN-like version
+so callers can detect concurrent modification when re-validating after a
+lock wait.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+PageId = int
+
+#: Sentinel for "no page" (e.g. the parent pointer of the root node).
+INVALID_PAGE: PageId = -1
+
+
+class Page:
+    """A mutable storage page identified by an immutable :data:`PageId`."""
+
+    __slots__ = ("page_id", "payload", "version", "dirty")
+
+    def __init__(self, page_id: PageId, payload: Any = None) -> None:
+        self.page_id = page_id
+        self.payload = payload
+        #: Incremented on every :meth:`mark_dirty`; used for re-validation.
+        self.version = 0
+        self.dirty = False
+
+    def mark_dirty(self) -> None:
+        self.version += 1
+        self.dirty = True
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, version={self.version}, dirty={self.dirty})"

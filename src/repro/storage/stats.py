@@ -1,0 +1,74 @@
+"""I/O and locking counters.
+
+A single mutable stats object is threaded through the pager, buffer pool
+and the DGL protocol layer so experiments can ask "how many page fetches
+did that insertion cost, per level?" -- the exact quantity of the paper's
+Table 2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IOStats:
+    """Counters for page traffic and lock traffic.
+
+    ``logical_reads`` counts every page fetch request; ``physical_reads``
+    counts only buffer misses (what the paper calls disk accesses);
+    ``reads_per_level`` attributes fetches to R-tree levels (root = 1,
+    counting downward) when the caller supplies a level.
+    """
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+    #: level -> number of logical page fetches at that level
+    reads_per_level: Counter = field(default_factory=Counter)
+    #: lock mode name -> number of acquisitions
+    lock_acquisitions: Counter = field(default_factory=Counter)
+    lock_waits: int = 0
+
+    def record_read(self, hit: bool, level: int | None = None) -> None:
+        self.logical_reads += 1
+        if not hit:
+            self.physical_reads += 1
+        if level is not None:
+            self.reads_per_level[level] += 1
+
+    def record_write(self) -> None:
+        self.writes += 1
+
+    def record_lock(self, mode_name: str) -> None:
+        self.lock_acquisitions[mode_name] += 1
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+        self.reads_per_level.clear()
+        self.lock_acquisitions.clear()
+        self.lock_waits = 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy suitable for diffing before/after an operation."""
+        return {
+            "logical_reads": self.logical_reads,
+            "physical_reads": self.physical_reads,
+            "writes": self.writes,
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "reads_per_level": dict(self.reads_per_level),
+            "lock_acquisitions": dict(self.lock_acquisitions),
+            "lock_waits": self.lock_waits,
+        }
+
+    def total_locks(self) -> int:
+        return sum(self.lock_acquisitions.values())

@@ -1,0 +1,21 @@
+"""Transactions: lifecycle, undo logging, and 2PL bookkeeping.
+
+Transactions acquire locks through the lock manager and register *undo
+actions* as they change the index; :meth:`TransactionManager.abort` plays
+the undo log backwards and releases all locks, :meth:`commit` runs commit
+hooks (the index layer uses these to hand logically deleted objects to the
+deferred-delete queue, §3.6) and then releases.
+"""
+
+from repro.txn.errors import TransactionAborted, TransactionStateError
+from repro.txn.transaction import Savepoint, Transaction, TxnState
+from repro.txn.manager import TransactionManager
+
+__all__ = [
+    "Transaction",
+    "TxnState",
+    "Savepoint",
+    "TransactionManager",
+    "TransactionAborted",
+    "TransactionStateError",
+]

@@ -1,0 +1,17 @@
+"""Transaction-level errors."""
+
+from __future__ import annotations
+
+
+class TransactionStateError(Exception):
+    """An operation was attempted on a non-active transaction."""
+
+
+class TransactionAborted(Exception):
+    """The transaction was rolled back (deadlock victim, explicit abort, or
+    an error inside an operation)."""
+
+    def __init__(self, txn_id: object, reason: str) -> None:
+        super().__init__(f"transaction {txn_id!r} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason

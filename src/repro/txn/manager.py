@@ -1,0 +1,116 @@
+"""Transaction lifecycle management.
+
+Strict two-phase locking: all locks (short-duration ones excepted, which
+end with their operation) are held to transaction termination and released
+here, in one place, after commit hooks or undo actions have run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.lock.manager import LockManager
+from repro.txn.errors import TransactionAborted, TransactionStateError
+from repro.txn.transaction import Transaction, TxnState
+
+
+class TransactionManager:
+    """Creates transactions and drives commit / rollback."""
+
+    def __init__(self, lock_manager: Optional[LockManager] = None) -> None:
+        self.lock_manager = lock_manager if lock_manager is not None else LockManager()
+        self._mutex = threading.Lock()
+        self._ids = itertools.count(1)
+        self.active: Dict[int, Transaction] = {}
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self, name: Optional[str] = None) -> Transaction:
+        """Start a new transaction (ids are unique and increasing)."""
+        with self._mutex:
+            txn_id = next(self._ids)
+            txn = Transaction(txn_id, name=name, begin_seq=txn_id)
+            self.active[txn_id] = txn
+            return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit: run hooks, then release every lock."""
+        self._check_active(txn)
+        txn.state = TxnState.COMMITTED
+        for hook in txn.commit_hooks:
+            hook()
+        self._finish(txn)
+        self.committed += 1
+
+    def abort(self, txn: Transaction, reason: str = "explicit abort") -> None:
+        """Roll back: undo in reverse order, then release every lock.
+
+        Undo actions run while the transaction still holds its locks, so
+        compensation (e.g. clearing a tombstone) is protected exactly like
+        the original action.
+        """
+        if txn.state is TxnState.ABORTED:
+            return
+        self._check_active(txn)
+        txn.state = TxnState.ABORTED
+        txn.abort_reason = reason
+        for action in reversed(txn.undo_log):
+            action()
+        self._finish(txn)
+        self.aborted += 1
+
+    def rollback_to(self, txn: Transaction, savepoint) -> None:
+        """Partial rollback: undo everything registered after ``savepoint``.
+
+        The transaction stays active and keeps all its locks (strict 2PL);
+        commit hooks registered after the savepoint are dropped."""
+        self._check_active(txn)
+        if savepoint.txn_id != txn.txn_id:
+            raise TransactionStateError(
+                f"savepoint belongs to transaction {savepoint.txn_id}, not {txn.txn_id}"
+            )
+        while len(txn.undo_log) > savepoint.undo_mark:
+            action = txn.undo_log.pop()
+            action()
+        del txn.commit_hooks[savepoint.hook_mark :]
+
+    @contextmanager
+    def transaction(self, name: Optional[str] = None) -> Iterator[Transaction]:
+        """``with tm.transaction() as txn:`` -- commit on success, roll back
+        on any exception (the exception propagates)."""
+        txn = self.begin(name)
+        try:
+            yield txn
+        except BaseException as exc:
+            if txn.is_active:
+                self.abort(txn, reason=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
+            if txn.is_active:
+                self.commit(txn)
+
+    def abort_and_raise(self, txn: Transaction, reason: str) -> "TransactionAborted":
+        """Roll back and build the exception the caller should raise."""
+        self.abort(txn, reason)
+        return TransactionAborted(txn.txn_id, reason)
+
+    def _finish(self, txn: Transaction) -> None:
+        self.lock_manager.release_all(txn.txn_id)
+        with self._mutex:
+            self.active.pop(txn.txn_id, None)
+        txn.undo_log.clear()
+        txn.commit_hooks.clear()
+
+    @staticmethod
+    def _check_active(txn: Transaction) -> None:
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionStateError(f"{txn!r} is not active")
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionManager(active={len(self.active)}, "
+            f"committed={self.committed}, aborted={self.aborted})"
+        )

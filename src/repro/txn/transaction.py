@@ -1,0 +1,101 @@
+"""The transaction object."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, List, Optional
+
+
+class TxnState(enum.Enum):
+    """Transaction lifecycle states."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+UndoAction = Callable[[], None]
+CommitHook = Callable[[], None]
+
+
+class Savepoint:
+    """A point inside a transaction that can be rolled back to.
+
+    Partial rollback undoes the effects registered after the savepoint and
+    drops their commit hooks; locks acquired since are *kept* (strict 2PL
+    -- releasing them early could expose intermediate state)."""
+
+    __slots__ = ("txn_id", "undo_mark", "hook_mark")
+
+    def __init__(self, txn_id: int, undo_mark: int, hook_mark: int) -> None:
+        self.txn_id = txn_id
+        self.undo_mark = undo_mark
+        self.hook_mark = hook_mark
+
+    def __repr__(self) -> str:
+        return f"Savepoint(txn={self.txn_id}, undo_mark={self.undo_mark})"
+
+
+class Transaction:
+    """One unit of work.
+
+    The transaction itself is passive bookkeeping: the index layer appends
+    undo actions / commit hooks, the :class:`~repro.txn.manager.
+    TransactionManager` drives state changes, and the lock manager keys all
+    holdings by :attr:`txn_id`.
+    """
+
+    __slots__ = (
+        "txn_id",
+        "name",
+        "state",
+        "begin_seq",
+        "undo_log",
+        "commit_hooks",
+        "abort_reason",
+        "reads",
+        "writes",
+    )
+
+    def __init__(self, txn_id: int, name: Optional[str] = None, begin_seq: int = 0) -> None:
+        self.txn_id = txn_id
+        self.name = name if name is not None else f"txn-{txn_id}"
+        self.state = TxnState.ACTIVE
+        self.begin_seq = begin_seq
+        #: actions run in reverse order on abort
+        self.undo_log: List[UndoAction] = []
+        #: actions run (in order) after the decision to commit
+        self.commit_hooks: List[CommitHook] = []
+        self.abort_reason: Optional[str] = None
+        #: operation counters, for workload reporting
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def is_active(self) -> bool:
+        """True until commit or rollback completes."""
+        return self.state is TxnState.ACTIVE
+
+    def log_undo(self, action: UndoAction) -> None:
+        """Register an action to run (in reverse order) on rollback."""
+        self.undo_log.append(action)
+
+    def on_commit(self, hook: CommitHook) -> None:
+        """Register an action to run (in order) after the commit decision."""
+        self.commit_hooks.append(hook)
+
+    def savepoint(self) -> "Savepoint":
+        """Mark the current point; see TransactionManager.rollback_to."""
+        return Savepoint(self.txn_id, len(self.undo_log), len(self.commit_hooks))
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.name}, {self.state.value})"
+
+    def __hash__(self) -> int:
+        return hash(self.txn_id)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Transaction) and other.txn_id == self.txn_id

@@ -1,0 +1,117 @@
+"""Datasets.
+
+The paper (§3.4): "The point dataset consists of 32,000 uniformly
+distributed randomly generated points.  The spatial dataset consists of
+32,000 uniformly distributed randomly generated two-dimensional
+rectangles, the extents of the rectangles being, on average, 5% of the
+extent of the total region over which the rectangles are distributed
+along the same dimension."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.geometry import Rect
+
+Object = Tuple[int, Rect]
+
+PAPER_DATASET_SIZE = 32_000
+PAPER_EXTENT_FRACTION = 0.05
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+def uniform_points(
+    n: int, seed: int = 0, universe: Rect = UNIT, start_oid: int = 0
+) -> List[Object]:
+    """``n`` uniformly distributed points (degenerate rectangles)."""
+    rng = random.Random(seed)
+    out: List[Object] = []
+    for i in range(n):
+        point = [lo + rng.random() * (hi - lo) for lo, hi in universe]
+        out.append((start_oid + i, Rect.from_point(point)))
+    return out
+
+
+def uniform_rects(
+    n: int,
+    seed: int = 0,
+    extent_fraction: float = PAPER_EXTENT_FRACTION,
+    universe: Rect = UNIT,
+    start_oid: int = 0,
+) -> List[Object]:
+    """``n`` uniform rectangles with the paper's 5% *average* extent.
+
+    Each side length is drawn uniformly from ``(0, 2 * extent_fraction)``
+    of the universe's extent in that dimension, so the mean is exactly
+    ``extent_fraction``.  Rectangles are clipped to the universe.
+    """
+    rng = random.Random(seed)
+    out: List[Object] = []
+    for i in range(n):
+        lo = []
+        hi = []
+        for axis, (u_lo, u_hi) in enumerate(universe):
+            span = u_hi - u_lo
+            side = rng.random() * 2.0 * extent_fraction * span
+            start = u_lo + rng.random() * (span - min(side, span))
+            lo.append(start)
+            hi.append(min(u_hi, start + side))
+        out.append((start_oid + i, Rect(lo, hi)))
+    return out
+
+
+def clustered_rects(
+    n: int,
+    clusters: int = 10,
+    spread: float = 0.05,
+    extent_fraction: float = 0.01,
+    seed: int = 0,
+    universe: Rect = UNIT,
+    start_oid: int = 0,
+) -> List[Object]:
+    """Gaussian clusters -- stresses granule overlap, where the locking
+    protocol's external granules do the most work."""
+    rng = random.Random(seed)
+    centers = [
+        [lo + rng.random() * (hi - lo) for lo, hi in universe] for _ in range(clusters)
+    ]
+    out: List[Object] = []
+    for i in range(n):
+        center = rng.choice(centers)
+        lo = []
+        hi = []
+        for axis, (u_lo, u_hi) in enumerate(universe):
+            span = u_hi - u_lo
+            point = min(u_hi, max(u_lo, rng.gauss(center[axis], spread * span)))
+            side = rng.random() * 2.0 * extent_fraction * span
+            lo.append(point)
+            hi.append(min(u_hi, point + side))
+        out.append((start_oid + i, Rect(lo, hi)))
+    return out
+
+
+def skewed_points(
+    n: int, exponent: float = 2.0, seed: int = 0, universe: Rect = UNIT, start_oid: int = 0
+) -> List[Object]:
+    """Points with density skewed toward the low corner (power law)."""
+    rng = random.Random(seed)
+    out: List[Object] = []
+    for i in range(n):
+        point = [
+            lo + (rng.random() ** exponent) * (hi - lo) for lo, hi in universe
+        ]
+        out.append((start_oid + i, Rect.from_point(point)))
+    return out
+
+
+def paper_point_dataset(n: int = PAPER_DATASET_SIZE, seed: int = 0) -> List[Object]:
+    """The paper's point dataset (32,000 uniform points)."""
+    return uniform_points(n, seed=seed)
+
+
+def paper_spatial_dataset(n: int = PAPER_DATASET_SIZE, seed: int = 0) -> List[Object]:
+    """The paper's spatial dataset (32,000 uniform rects, 5% extent)."""
+    return uniform_rects(n, seed=seed, extent_fraction=PAPER_EXTENT_FRACTION)

@@ -1,0 +1,136 @@
+"""Transactional operation mixes for the concurrency experiments.
+
+A workload is a set of per-worker :class:`TxnScript` lists; each script is
+a sequence of :class:`OpCall` items the runner replays against any of the
+transactional indexes.  Scripts are generated up front from a seed so the
+same logical workload can be run against every scheme being compared.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.geometry import Rect
+from repro.workloads.datasets import UNIT, Object
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """Operation mix probabilities (must sum to at most 1; the remainder
+    goes to read_single)."""
+
+    read_scan: float = 0.4
+    insert: float = 0.3
+    delete: float = 0.1
+    update_single: float = 0.1
+    update_scan: float = 0.0
+    #: side length of scan predicates, as a fraction of the universe
+    scan_extent: float = 0.1
+    #: side length of inserted objects, as a fraction of the universe
+    object_extent: float = 0.02
+    #: mean think time (simulated units) between operations
+    think_time: float = 2.0
+
+    def __post_init__(self) -> None:
+        total = self.read_scan + self.insert + self.delete + self.update_single + self.update_scan
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"mix probabilities sum to {total} > 1")
+
+
+@dataclass(frozen=True)
+class OpCall:
+    kind: str  # "read_scan" | "insert" | "delete" | "read_single" | "update_single" | "update_scan"
+    oid: Optional[int] = None
+    rect: Optional[Rect] = None
+    think: float = 0.0
+
+
+@dataclass
+class TxnScript:
+    name: str
+    ops: List[OpCall] = field(default_factory=list)
+
+
+def _random_rect(rng: random.Random, extent: float, universe: Rect) -> Rect:
+    lo = []
+    hi = []
+    for u_lo, u_hi in universe:
+        span = u_hi - u_lo
+        side = extent * span
+        start = u_lo + rng.random() * max(1e-12, span - side)
+        lo.append(start)
+        hi.append(min(u_hi, start + side))
+    return Rect(lo, hi)
+
+
+def generate_scripts(
+    preloaded: Sequence[Object],
+    n_workers: int,
+    txns_per_worker: int,
+    ops_per_txn: int,
+    mix: MixSpec,
+    seed: int = 0,
+    universe: Rect = UNIT,
+    oid_base: int = 1_000_000,
+) -> List[List[TxnScript]]:
+    """Per-worker transaction scripts.
+
+    Deletes and single-object operations target preloaded objects;
+    inserts mint fresh object ids (disjoint across workers) so replaying
+    the same scripts against different indexes stays valid.
+    """
+    scripts: List[List[TxnScript]] = []
+    preload_list = list(preloaded)
+    next_oid = oid_base
+    for worker in range(n_workers):
+        # stable per-worker stream (never hash() strings/tuples for seeds:
+        # string hashing is randomised per process)
+        rng = random.Random(seed * 1_000_003 + worker)
+        worker_scripts: List[TxnScript] = []
+        for t in range(txns_per_worker):
+            script = TxnScript(name=f"w{worker}-t{t}")
+            for _ in range(ops_per_txn):
+                roll = rng.random()
+                think = rng.expovariate(1.0 / mix.think_time) if mix.think_time > 0 else 0.0
+                if roll < mix.read_scan:
+                    script.ops.append(
+                        OpCall("read_scan", rect=_random_rect(rng, mix.scan_extent, universe), think=think)
+                    )
+                elif roll < mix.read_scan + mix.insert:
+                    next_oid += 1
+                    script.ops.append(
+                        OpCall(
+                            "insert",
+                            oid=next_oid,
+                            rect=_random_rect(rng, mix.object_extent, universe),
+                            think=think,
+                        )
+                    )
+                elif roll < mix.read_scan + mix.insert + mix.delete and preload_list:
+                    oid, rect = preload_list[rng.randrange(len(preload_list))]
+                    script.ops.append(OpCall("delete", oid=oid, rect=rect, think=think))
+                elif (
+                    roll < mix.read_scan + mix.insert + mix.delete + mix.update_single
+                    and preload_list
+                ):
+                    oid, rect = preload_list[rng.randrange(len(preload_list))]
+                    script.ops.append(OpCall("update_single", oid=oid, rect=rect, think=think))
+                elif (
+                    roll
+                    < mix.read_scan + mix.insert + mix.delete + mix.update_single + mix.update_scan
+                ):
+                    script.ops.append(
+                        OpCall(
+                            "update_scan",
+                            rect=_random_rect(rng, mix.scan_extent, universe),
+                            think=think,
+                        )
+                    )
+                elif preload_list:
+                    oid, rect = preload_list[rng.randrange(len(preload_list))]
+                    script.ops.append(OpCall("read_single", oid=oid, rect=rect, think=think))
+            worker_scripts.append(script)
+        scripts.append(worker_scripts)
+    return scripts

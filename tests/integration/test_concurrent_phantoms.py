@@ -1,0 +1,171 @@
+"""Randomised concurrent phantom testing across schemes and seeds.
+
+The workhorse correctness test: mixed insert/delete/scan workloads run
+under the deterministic simulator, then the history is checked with the
+phantom oracle and the conflict-serializability checker.  Sound schemes
+must be anomaly-free on every seed; the object-lock baseline must show
+anomalies on at least one seed (it allows phantoms by construction).
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import ObjectLockIndex, PredicateLockIndex, PredicateLockTable, TreeLockIndex
+from repro.concurrency import (
+    History,
+    SimulatedWait,
+    Simulator,
+    check_conflict_serializable,
+    find_phantoms,
+)
+from repro.core import InsertionPolicy, PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.lock import LockManager
+from repro.rtree import RTreeConfig, validate_tree
+from repro.txn import TransactionAborted
+
+SEEDS = range(4)
+
+
+def run_mixed_workload(make_index, seed, n_workers=5, txns=4, ops=3):
+    sim = Simulator(seed=seed)
+    strategy = SimulatedWait(sim)
+    history = History()
+    index = make_index(strategy, history, sim)
+
+    rng = random.Random(seed)
+    objects = {}
+    with index.transaction("load") as txn:
+        for i in range(60):
+            x, y = rng.random() * 0.9, rng.random() * 0.9
+            objects[i] = Rect((x, y), (x + 0.04, y + 0.04))
+            index.insert(txn, i, objects[i])
+
+    counter = [1000]
+
+    def worker(wid):
+        def body():
+            r = random.Random(seed * 997 + wid)
+            for k in range(txns):
+                txn = index.begin(f"w{wid}-{k}")
+                try:
+                    for _ in range(ops):
+                        roll = r.random()
+                        x, y = r.random() * 0.85, r.random() * 0.85
+                        if roll < 0.40:
+                            index.read_scan(txn, Rect((x, y), (x + 0.15, y + 0.15)))
+                        elif roll < 0.72:
+                            counter[0] += 1
+                            index.insert(
+                                txn, counter[0], Rect((x, y), (x + 0.03, y + 0.03))
+                            )
+                        elif roll < 0.88:
+                            victim = r.choice(list(objects))
+                            index.delete(txn, victim, objects[victim])
+                        else:
+                            victim = r.choice(list(objects))
+                            index.read_single(txn, victim, objects[victim])
+                        sim.checkpoint(r.random() * 8)
+                    index.commit(txn)
+                except TransactionAborted:
+                    pass
+
+        return body
+
+    for w in range(n_workers):
+        sim.spawn(f"w{w}", worker(w), delay=w * 0.1)
+    sim.run()
+    sim.raise_process_errors()
+    index.vacuum()
+    return index, history
+
+
+def dgl_factory(policy):
+    def make(strategy, history, sim):
+        lm = LockManager(wait_strategy=strategy)
+        return PhantomProtectedRTree(
+            RTreeConfig(max_entries=6, universe=Rect((0, 0), (1, 1))),
+            lock_manager=lm,
+            policy=policy,
+            history=history,
+            clock=lambda: sim.clock,
+        )
+
+    return make
+
+
+def baseline_factory(cls):
+    def make(strategy, history, sim):
+        lm = LockManager(wait_strategy=strategy)
+        kwargs = {}
+        if cls is PredicateLockIndex:
+            kwargs["predicate_table"] = PredicateLockTable(strategy)
+        return cls(
+            RTreeConfig(max_entries=6, universe=Rect((0, 0), (1, 1))),
+            lock_manager=lm,
+            history=history,
+            clock=lambda: sim.clock,
+            **kwargs,
+        )
+
+    return make
+
+
+SOUND_SCHEMES = [
+    ("dgl-all-paths", dgl_factory(InsertionPolicy.ALL_PATHS)),
+    ("dgl-on-growth", dgl_factory(InsertionPolicy.ON_GROWTH)),
+    ("dgl-active-searchers", dgl_factory(InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS)),
+    ("tree-lock", baseline_factory(TreeLockIndex)),
+    ("predicate-lock", baseline_factory(PredicateLockIndex)),
+]
+
+
+class TestSoundSchemesArePhantomFree:
+    @pytest.mark.parametrize("name,factory", SOUND_SCHEMES, ids=[n for n, _ in SOUND_SCHEMES])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_anomalies(self, name, factory, seed):
+        index, history = run_mixed_workload(factory, seed)
+        reports = find_phantoms(history)
+        assert reports == [], f"{name} seed {seed}: {[r.detail for r in reports[:3]]}"
+        check_conflict_serializable(history)
+        validate_tree(index.tree)
+
+
+class TestUnsoundSchemesShowPhantoms:
+    def test_object_lock_baseline_has_anomalies(self):
+        total = 0
+        for seed in range(6):
+            _index, history = run_mixed_workload(baseline_factory(ObjectLockIndex), seed)
+            total += len(find_phantoms(history))
+        assert total > 0, "object-level locking should exhibit phantoms"
+
+    def test_naive_dgl_policy_has_anomalies(self):
+        total = 0
+        for seed in range(6):
+            _index, history = run_mixed_workload(dgl_factory(InsertionPolicy.NAIVE), seed)
+            total += len(find_phantoms(history))
+        assert total > 0, "the naive §3.2 policy should exhibit phantoms"
+
+
+class TestTreeRemainsConsistentUnderConcurrency:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dgl_tree_valid_and_complete(self, seed):
+        index, history = run_mixed_workload(
+            dgl_factory(InsertionPolicy.ON_GROWTH), seed, n_workers=6, txns=4, ops=4
+        )
+        validate_tree(index.tree)
+        # committed state from the history == actual tree contents
+        state = dict(history.initial)
+        from repro.concurrency.checker import _committed_writes
+        from repro.concurrency.history import OpKind
+
+        for _commit_seq, _txn, op in sorted(
+            _committed_writes(history), key=lambda t: t[0]
+        ):
+            if op.kind is OpKind.INSERT:
+                state[op.oid] = op.rect
+            else:
+                state.pop(op.oid, None)
+        tree_oids = sorted(str(e.oid) for e in index.tree.all_entries())
+        assert tree_oids == sorted(map(str, state))

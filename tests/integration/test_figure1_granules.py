@@ -1,0 +1,132 @@
+"""Figure 1: the paper's running example, reconstructed exactly.
+
+A two-level R-tree over a 2-D space: the root has children R1 and R2;
+R1 holds leaf nodes with BRs R3, R4, R5; R2 holds leaf nodes with BRs
+R6, R7.  Objects R8..R18 live in the leaves.  The paper uses this tree to
+illustrate:
+
+* the five leaf granules (R3..R7) and three external granules
+  (ext(root), ext(R1), ext(R2)) that together cover the space;
+* the predicate rectangles R19, R20, R21: a scan of R19 must lock ext(R2)
+  and R7; an insertion of R20 (inside ext(R2)) must conflict with that
+  scan; an insertion of R21 (inside R4/ext(R1)) must not.
+"""
+
+import pytest
+
+from repro.core.granules import GranuleSet
+from repro.geometry import Rect
+from repro.lock.resource import Namespace
+from repro.rtree.tree import RTreeConfig
+
+from tests.conftest import build_manual_tree, rect
+
+# Coordinate reconstruction of Figure 1 in a (0,0)-(20,14) space.
+UNIVERSE = Rect((0.0, 0.0), (20.0, 14.0))
+
+# objects (R8..R18), grouped into the leaves whose BRs are R3..R7
+R8 = rect(1, 9, 3, 10)
+R9 = rect(2, 7, 4, 8)
+R10 = rect(4, 8, 5.5, 9.5)
+R11 = rect(1, 2, 2.5, 3.5)
+R12 = rect(3, 1.5, 4.5, 2.5)
+R13 = rect(5, 5, 7, 6)
+R14 = rect(6.5, 9.5, 8, 11)
+R15 = rect(9, 10, 10.5, 11.5)
+R16 = rect(10, 8.5, 11.5, 9.5)
+R17 = rect(13, 5, 14.5, 6.5)
+R18 = rect(15, 3.5, 16.5, 5)
+
+LEAVES = [
+    [("R8", R8), ("R9", R9), ("R10", R10)],  # BR = R3
+    [("R11", R11), ("R12", R12)],  # BR = R4
+    [("R13", R13)],  # BR = R5
+    [("R14", R14), ("R15", R15), ("R16", R16)],  # BR = R6
+    [("R17", R17), ("R18", R18)],  # BR = R7
+]
+GROUPING = [[0, 1, 2], [3, 4]]  # R1 = {R3,R4,R5}, R2 = {R6,R7}
+
+# predicate rectangles
+R19 = rect(14, 5.5, 16, 7.5)  # scan region: overlaps R7 and ext(R2)
+R20 = rect(12.5, 7.5, 13.5, 8.5)  # insertion inside R2's space, outside R6/R7
+R21 = rect(2.5, 4.0, 3.5, 4.8)  # insertion inside R1's space, nearest to R4
+
+
+@pytest.fixture
+def figure1():
+    cfg = RTreeConfig(max_entries=4, min_entries=1, universe=UNIVERSE)
+    # min_entries=1 so the single-entry leaf R5 is legal, as drawn.
+    tree, names = build_manual_tree(cfg, LEAVES, GROUPING)
+    return tree, names
+
+
+def granule_keys(refs, names):
+    inverse = {v: k for k, v in names.items()}
+    return {(r.resource.namespace, inverse[r.page_id]) for r in refs}
+
+
+class TestFigure1Geometry:
+    def test_five_leaf_and_three_external_granules(self, figure1):
+        tree, _names = figure1
+        gs = GranuleSet(tree)
+        assert gs.granule_count() == (5, 3)
+
+    def test_granules_cover_the_embedded_space(self, figure1):
+        """'the union of ext(root), ext(R1), ext(R2), R3, R4, R5, R6 and R7
+        is the entire embedded space S.'"""
+        tree, _names = figure1
+        gs = GranuleSet(tree)
+        assert gs.coverage_leftover().is_empty()
+
+    def test_ext_root_is_space_minus_r1_r2(self, figure1):
+        tree, names = figure1
+        gs = GranuleSet(tree)
+        root = tree.node(names["root"], count_io=False)
+        r1 = tree.node(names["mid0"], count_io=False).mbr()
+        r2 = tree.node(names["mid1"], count_io=False).mbr()
+        expected = UNIVERSE.area() - r1.area() - r2.area() + r1.overlap_area(r2)
+        assert gs.external_region(root).area() == pytest.approx(expected)
+
+    def test_scan_r19_locks_ext_r2_and_r7(self, figure1):
+        """'A searcher wishing to scan predicate R19 acquires S locks on
+        ext(R2) and R7.'"""
+        tree, names = figure1
+        gs = GranuleSet(tree)
+        keys = granule_keys(gs.overlapping(R19), names)
+        assert (Namespace.LEAF, "leaf4") in keys  # R7
+        assert (Namespace.EXT, "mid1") in keys  # ext(R2)
+        # and nothing from the R1 side of the tree
+        assert not any(name in ("leaf0", "leaf1", "leaf2", "mid0") for _ns, name in keys)
+
+    def test_insert_r21_covered_by_r4_side(self, figure1):
+        """'a transaction wishing to insert rectangle R21 acquires IX locks
+        on granules ext(R1) and R4' -- R21 overlaps ext(R1); the covering
+        granule after growth is R4 (least enlargement)."""
+        tree, names = figure1
+        gs = GranuleSet(tree)
+        keys = granule_keys(gs.overlapping(R21), names)
+        assert (Namespace.EXT, "mid0") in keys  # ext(R1)
+        plan = tree.plan_insert(R21)
+        assert plan.leaf_id == names["leaf1"]  # R4 grows to cover it
+
+    def test_r19_scan_conflicts_with_r20_insert_via_ext_r2(self, figure1):
+        """R20 does not intersect R19, but both map to ext(R2): the
+        granular scheme serialises them (the paper's motivating example for
+        partitioning the external space per node instead of globally)."""
+        tree, names = figure1
+        gs = GranuleSet(tree)
+        scan_resources = {r.resource for r in gs.overlapping(R19)}
+        insert_resources = {r.resource for r in gs.overlapping(R20)}
+        assert not R19.intersects(R20)
+        shared = scan_resources & insert_resources
+        inverse = {v: k for k, v in names.items()}
+        assert {inverse[r.key] for r in shared} == {"mid1"}
+
+    def test_r19_scan_does_not_conflict_with_r21_insert(self, figure1):
+        """R21's insertion (left subtree) shares no granule with the R19
+        scan (right subtree): they run concurrently."""
+        tree, _names = figure1
+        gs = GranuleSet(tree)
+        scan_resources = {r.resource for r in gs.overlapping(R19)}
+        insert_resources = {r.resource for r in gs.overlapping(R21)}
+        assert not (scan_resources & insert_resources)

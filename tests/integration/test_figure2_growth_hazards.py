@@ -1,0 +1,201 @@
+"""Figures 2(a)/2(b): phantoms caused by granule growth, and their fix.
+
+Figure 2(a): t1 scans R3 (covered by leaf granule g1 only).  t2 inserts
+R4, growing sibling granule g2 over part of R3, and commits.  t3 then
+inserts R5 inside the grown g2 ∩ R3.  Under the naive cover-for-insert
+policy t3 needs only an IX on g2 -- no conflict with t1 -- and t1's
+repeated scan finds R5 "appeared from nowhere".  The paper's protocol
+fixes this by making the *boundary-changing* inserter (t2, under the
+modified policy; every inserter, under the base policy) take short IX
+locks on the granules it grows into, which collide with t1's S lock.
+
+These tests run both the broken (NAIVE) and fixed protocols through the
+same interleaving and assert the phantom appears / disappears exactly as
+the paper predicts.
+"""
+
+import pytest
+
+from repro.concurrency import find_phantoms
+from repro.core import InsertionPolicy
+from repro.geometry import Rect
+from repro.rtree.tree import RTreeConfig
+from repro.txn import TransactionAborted
+
+from tests.conftest import build_manual_tree, rect
+from tests.integration.util import TEN, adopt_manual_tree, make_sim_index
+
+# Geometry: one parent (the root), two leaf granules.
+#   g1 (R1) spans (0,0)-(6,6); g2 (R2) spans (7,1)-(9,2).
+G1_OBJECTS = [("a1", rect(0, 0, 1, 1)), ("a2", rect(5, 5, 6, 6))]
+G2_OBJECTS = [("b1", rect(7, 1, 7.5, 1.5)), ("b2", rect(8.5, 1.5, 9, 2))]
+
+#: t1's scan predicate: strictly inside g1, away from ext(root)
+R3 = rect(4.5, 0.5, 5.5, 1.5)
+#: t2's insertion: ChooseLeaf assigns it to g2 (least enlargement), whose
+#: growth then sweeps across R3's longitude
+R4 = rect(5.0, 1.0, 7.2, 1.8)
+#: t3's insertion: inside grown g2, overlapping t1's predicate R3
+R5 = rect(5.1, 1.1, 5.4, 1.4)
+
+
+def setup_index(policy, seed=0):
+    sim, index, history = make_sim_index(policy=policy, max_entries=4, seed=seed)
+    cfg = RTreeConfig(max_entries=4, min_entries=2, universe=TEN)
+    tree, names = build_manual_tree(cfg, [G1_OBJECTS, G2_OBJECTS])
+    adopt_manual_tree(index, tree, names)
+    return sim, index, history, names
+
+
+def run_figure_2a(policy):
+    sim, index, history, names = setup_index(policy)
+    events = []
+
+    def t1():
+        txn = index.begin("t1")
+        res = index.read_scan(txn, R3)
+        events.append(("t1-scan", sim.clock, res.oids))
+        sim.checkpoint(100)  # keep the scan's locks held for a while
+        # repeat the scan before committing -- the phantom test
+        res2 = index.read_scan(txn, R3)
+        events.append(("t1-rescan", sim.clock, res2.oids))
+        index.commit(txn)
+        events.append(("t1-commit", sim.clock))
+
+    def t2():
+        sim.checkpoint(5)
+        txn = index.begin("t2")
+        try:
+            index.insert(txn, "R4", R4)
+            index.commit(txn)
+            events.append(("t2-commit", sim.clock))
+        except TransactionAborted:
+            events.append(("t2-aborted", sim.clock))
+
+    def t3():
+        sim.checkpoint(10)
+        txn = index.begin("t3")
+        try:
+            index.insert(txn, "R5", R5)
+            index.commit(txn)
+            events.append(("t3-commit", sim.clock))
+        except TransactionAborted:
+            events.append(("t3-aborted", sim.clock))
+
+    sim.spawn("t1", t1)
+    sim.spawn("t2", t2)
+    sim.spawn("t3", t3)
+    sim.run()
+    sim.raise_process_errors()
+    return events, history, names
+
+
+class TestFigure2aGeometry:
+    def test_choose_leaf_assigns_r4_to_g2(self):
+        _sim, index, _h, names = setup_index(InsertionPolicy.ON_GROWTH)
+        plan = index.tree.plan_insert(R4)
+        assert plan.leaf_id == names["leaf1"]
+        assert plan.leaf_grows
+
+    def test_scan_r3_locks_only_g1(self):
+        _sim, index, _h, names = setup_index(InsertionPolicy.ON_GROWTH)
+        refs = index.granules.overlapping(R3)
+        assert [r.page_id for r in refs] == [names["leaf0"]]
+
+    def test_grown_g2_covers_r5(self):
+        _sim, index, _h, names = setup_index(InsertionPolicy.ON_GROWTH)
+        index.tree.insert("R4", R4)
+        g2 = index.tree.node(names["leaf1"], count_io=False)
+        assert g2.mbr().contains(R5)
+        assert g2.mbr().intersects(R3)
+
+
+class TestFigure2aPhantom:
+    def test_naive_policy_exhibits_the_phantom(self):
+        events, history, _names = run_figure_2a(InsertionPolicy.NAIVE)
+        kinds = dict.fromkeys(k for k, *_ in events)
+        assert "t3-commit" in kinds
+        # t1's rescan saw R5 appear from nowhere
+        first = next(e for e in events if e[0] == "t1-scan")
+        rescan = next(e for e in events if e[0] == "t1-rescan")
+        assert "R5" not in first[2]
+        assert "R5" in rescan[2]
+        reports = find_phantoms(history)
+        assert any(r.kind == "instability" for r in reports)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            InsertionPolicy.ALL_PATHS,
+            InsertionPolicy.ON_GROWTH,
+            InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS,
+        ],
+    )
+    def test_protocol_prevents_the_phantom(self, policy):
+        events, history, _names = run_figure_2a(policy)
+        first = next(e for e in events if e[0] == "t1-scan")
+        rescan = next(e for e in events if e[0] == "t1-rescan")
+        # repeatable read: both scans identical
+        assert first[2] == rescan[2]
+        assert find_phantoms(history) == []
+        # the boundary-changing inserter t2 was held until t1 finished
+        t1_commit = next(e[1] for e in events if e[0] == "t1-commit")
+        for name in ("t2-commit", "t3-commit"):
+            done = [e[1] for e in events if e[0] == name]
+            if done:
+                assert done[0] >= t1_commit
+
+
+class TestFigure2bReversePolicyScenario:
+    """Figure 2(b) attacks the *reverse* policy (cover-for-search).  The
+    paper adopts the forward policy instead, under which the analogous
+    interleaving is safe: t1 inserts R3 into g1, t2 grows g2 over R3's
+    area, and a later scanner t3 of that area must still conflict with t1
+    -- because g1 itself grew to cover R3 at insertion time, so t3's scan
+    S-locks g1 and waits for t1's commit-duration IX."""
+
+    T1_OBJECT = rect(4.5, 0.5, 5.5, 1.5)  # t1 inserts this into g1
+    T2_OBJECT = rect(5.0, 1.0, 7.2, 1.8)  # grows g2 across the same area
+    T3_SCAN = rect(4.4, 0.4, 5.6, 1.6)
+
+    def test_scan_blocks_on_uncommitted_insert(self):
+        sim, index, history, names = setup_index(InsertionPolicy.ON_GROWTH)
+        events = []
+
+        def t1():
+            txn = index.begin("t1")
+            index.insert(txn, "R3", self.T1_OBJECT)
+            events.append(("t1-inserted", sim.clock))
+            sim.checkpoint(100)
+            index.abort(txn)  # the paper's scenario: t1 rolls back
+            events.append(("t1-aborted", sim.clock))
+
+        def t2():
+            sim.checkpoint(5)
+            txn = index.begin("t2")
+            try:
+                index.insert(txn, "R4", self.T2_OBJECT)
+                index.commit(txn)
+                events.append(("t2-commit", sim.clock))
+            except TransactionAborted:
+                events.append(("t2-victim", sim.clock))
+
+        def t3():
+            sim.checkpoint(10)
+            txn = index.begin("t3")
+            res = index.read_scan(txn, self.T3_SCAN)
+            events.append(("t3-scan", sim.clock, res.oids))
+            index.commit(txn)
+
+        sim.spawn("t1", t1)
+        sim.spawn("t2", t2)
+        sim.spawn("t3", t3)
+        sim.run()
+        sim.raise_process_errors()
+
+        # t3 must not have observed t1's rolled-back insert
+        scan = next(e for e in events if e[0] == "t3-scan")
+        assert "R3" not in scan[2]
+        t1_done = next(e[1] for e in events if e[0] == "t1-aborted")
+        assert scan[1] >= t1_done
+        assert find_phantoms(history) == []

@@ -1,0 +1,80 @@
+"""Footnote 4 of the paper: space-partitioning structures are simpler.
+
+"For those index structures where it is always possible to split a node
+into disjoint subspaces (referred to as space partitioning data
+structures) like K-D-B-trees, hb-trees etc., the set of leaf granules
+alone cover the entire embedded space.  Therefore the external granules
+are not required.  Moreover, the granules never overlap with each other."
+
+Our granule machinery realises this automatically: when a tree's leaves
+happen to tile their parents exactly (as a K-D-B-tree's always would),
+every external granule is geometrically empty, so no operation ever locks
+one -- the same protocol degenerates to the simpler scheme by itself.
+These tests build perfectly tiling trees and verify that degeneration.
+"""
+
+from repro.core import PhantomProtectedRTree
+from repro.core.granules import GranuleSet
+from repro.geometry import Rect
+from repro.lock.resource import Namespace
+from repro.rtree.tree import RTreeConfig
+
+from tests.conftest import build_manual_tree, rect
+from tests.integration.util import adopt_manual_tree
+
+TEN = Rect((0.0, 0.0), (10.0, 10.0))
+
+
+def tiling_tree():
+    """Four leaves that tile the universe exactly into quadrants, as a
+    space-partitioning structure would."""
+    cfg = RTreeConfig(max_entries=4, min_entries=2, universe=TEN)
+    leaves = [
+        [("a", rect(0, 0, 5, 5)), ("a2", rect(1, 1, 4, 4))],
+        [("b", rect(5, 0, 10, 5)), ("b2", rect(6, 1, 9, 4))],
+        [("c", rect(0, 5, 5, 10)), ("c2", rect(1, 6, 4, 9))],
+        [("d", rect(5, 5, 10, 10)), ("d2", rect(6, 6, 9, 9))],
+    ]
+    return build_manual_tree(cfg, leaves)
+
+
+class TestFootnote4:
+    def test_external_granules_empty_when_leaves_tile(self):
+        tree, names = tiling_tree()
+        gs = GranuleSet(tree)
+        root = tree.node(names["root"], count_io=False)
+        assert gs.external_region(root).is_empty()
+        assert gs.coverage_leftover().is_empty()
+
+    def test_no_scan_ever_locks_an_external_granule(self):
+        tree, names = tiling_tree()
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=4, universe=TEN))
+        adopt_manual_tree(index, tree, names)
+        probes = [
+            rect(1, 1, 2, 2),          # inside one tile
+            rect(4, 4, 6, 6),          # straddles all four tiles
+            rect(0, 0, 10, 10),        # everything
+            Rect.from_point((5.0, 5.0)),  # exactly on the seams
+        ]
+        for probe in probes:
+            refs = index.granules.overlapping(probe)
+            assert refs, probe
+            assert all(ref.resource.namespace is Namespace.LEAF for ref in refs), probe
+
+    def test_leaf_granules_are_disjoint(self):
+        tree, _names = tiling_tree()
+        leaves = [leaf.mbr() for leaf in tree.iter_leaves()]
+        for i, a in enumerate(leaves):
+            for b in leaves[i + 1 :]:
+                assert not a.intersects_open(b)
+
+    def test_operations_take_only_leaf_and_object_locks(self):
+        tree, names = tiling_tree()
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=4, universe=TEN))
+        adopt_manual_tree(index, tree, names)
+        with index.transaction() as txn:
+            scan = index.read_scan(txn, rect(3, 3, 7, 7))
+            ins = index.insert(txn, "new", rect(2.2, 2.2, 2.4, 2.4))
+        for result in (scan, ins):
+            for resource, _mode, _duration in result.locks_taken:
+                assert resource.namespace in (Namespace.LEAF, Namespace.OBJECT)

@@ -1,0 +1,67 @@
+"""Property-based tests for the B+-tree against a sorted-list model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree, BTreeConfig
+
+keys = st.integers(min_value=0, max_value=5_000)
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "scan"]), keys, keys),
+    min_size=1,
+    max_size=150,
+)
+
+
+@given(ops, st.integers(min_value=4, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_btree_matches_sorted_model(operations, max_keys):
+    tree = BPlusTree(BTreeConfig(max_keys=max_keys))
+    model = set()
+    next_oid = 0
+    rng = random.Random(3)
+    for kind, a, b in operations:
+        if kind == "insert":
+            tree.insert(a, next_oid)
+            model.add((a, next_oid))
+            next_oid += 1
+        elif kind == "delete" and model:
+            victim = rng.choice(sorted(model))
+            assert tree.delete(*victim)
+            model.discard(victim)
+        elif kind == "scan":
+            lo, hi = min(a, b), max(a, b)
+            got = [(k, o) for k, o, _p in tree.range_scan(lo, hi)]
+            want = sorted((k, o) for k, o in model if lo <= k <= hi)
+            assert got == want
+    tree.validate()
+    assert len(tree) == len(model)
+
+
+@given(st.lists(keys, min_size=1, max_size=120), st.integers(min_value=4, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_iteration_is_globally_sorted(key_list, max_keys):
+    tree = BPlusTree(BTreeConfig(max_keys=max_keys))
+    for i, k in enumerate(key_list):
+        tree.insert(k, i)
+    chained = [(k, o) for k, o, _p in tree.iter_from(-1)]
+    assert chained == sorted(chained)
+    assert len(chained) == len(key_list)
+
+
+@given(st.sets(keys, min_size=2, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_next_key_after_is_exact(key_set):
+    tree = BPlusTree(BTreeConfig(max_keys=6))
+    for k in key_set:
+        tree.insert(k, k)
+    ordered = sorted(key_set)
+    for probe in list(key_set)[:20]:
+        nxt = tree.next_key_after(probe)
+        bigger = [k for k in ordered if k > probe]
+        if bigger:
+            assert nxt == (bigger[0], bigger[0])
+        else:
+            assert nxt is None

@@ -1,0 +1,99 @@
+"""Property-based tests for the paper's central geometric invariants.
+
+§3.1 claims that the leaf granules plus the external granules always
+cover the embedded space, under any sequence of insertions and deletions,
+and that any predicate maps onto the overlapping granule set such that
+two conflicting operations always share a granule.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.granules import GranuleSet
+from repro.geometry import Rect
+from repro.rtree import RTree, RTreeConfig, validate_tree
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+@st.composite
+def small_rects(draw):
+    x = draw(st.floats(min_value=0, max_value=0.95, allow_nan=False))
+    y = draw(st.floats(min_value=0, max_value=0.95, allow_nan=False))
+    w = draw(st.floats(min_value=0, max_value=0.05, allow_nan=False))
+    h = draw(st.floats(min_value=0, max_value=0.05, allow_nan=False))
+    return Rect((x, y), (min(1.0, x + w), min(1.0, y + h)))
+
+
+ops = st.lists(
+    st.tuples(st.booleans(), small_rects()), min_size=1, max_size=100
+)
+
+
+def grow_tree(operations, fanout):
+    tree = RTree(RTreeConfig(max_entries=fanout, universe=UNIT))
+    model = {}
+    next_oid = 0
+    rng = random.Random(7)
+    for is_insert, rect in operations:
+        if is_insert or not model:
+            tree.insert(next_oid, rect)
+            model[next_oid] = rect
+            next_oid += 1
+        else:
+            oid = rng.choice(list(model))
+            tree.delete(oid, model.pop(oid))
+    return tree, model
+
+
+@given(ops, st.integers(min_value=4, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_granules_always_cover_the_universe(operations, fanout):
+    tree, _model = grow_tree(operations, fanout)
+    validate_tree(tree)
+    assert GranuleSet(tree).coverage_leftover().is_empty()
+
+
+@given(ops, small_rects())
+@settings(max_examples=40, deadline=None)
+def test_every_point_predicate_maps_to_some_granule(operations, probe):
+    """Full coverage in lock terms: any predicate overlaps at least one
+    granule, so no operation can slip through unprotected."""
+    tree, _model = grow_tree(operations, 5)
+    gs = GranuleSet(tree)
+    assert gs.overlapping(probe), f"predicate {probe} matched no granule"
+    point = Rect.from_point(probe.center)
+    assert gs.overlapping(point), f"point {point} matched no granule"
+
+
+@given(ops, small_rects(), small_rects())
+@settings(max_examples=40, deadline=None)
+def test_conflicting_predicates_share_a_granule(operations, p1, p2):
+    """The granular-locking soundness condition (§2): if two predicates
+    are jointly satisfiable (their rectangles overlap), the granule sets
+    they lock must intersect."""
+    tree, _model = grow_tree(operations, 5)
+    gs = GranuleSet(tree)
+    if not p1.intersects_open(p2):
+        return
+    g1 = {ref.resource for ref in gs.overlapping(p1)}
+    g2 = {ref.resource for ref in gs.overlapping(p2)}
+    assert g1 & g2, f"{p1} and {p2} overlap but lock disjoint granule sets"
+
+
+@given(ops)
+@settings(max_examples=30, deadline=None)
+def test_insert_plan_granule_covers_object_after_insert(operations):
+    """Cover-for-insert: after the insertion the chosen granule's MBR must
+    contain the object (that is what the single commit IX protects)."""
+    tree, model = grow_tree(operations, 5)
+    probe = Rect((0.4, 0.4), (0.44, 0.44))
+    plan = tree.plan_insert(probe)
+    tree.insert("probe", probe)
+    if tree.pager.exists(plan.leaf_id):
+        node = tree.pager.peek(plan.leaf_id).payload
+        found = node.find_entry("probe")
+        if found is not None:  # may have moved if the leaf split
+            assert node.mbr().contains(probe)

@@ -1,0 +1,100 @@
+"""Property-based tests for the K-D-B-tree's partition invariants.
+
+Footnote 4 rests on a geometric fact the tree must maintain under any
+operation sequence: leaf regions tile the universe exactly and disjointly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, Region
+from repro.kdbtree.tree import KDBConfig, KDBTree, _region_contains
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "tombstone"]), coords, coords),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_ops(operations, max_entries):
+    tree = KDBTree(KDBConfig(max_entries=max_entries))
+    model = {}
+    next_oid = 0
+    rng = random.Random(5)
+    for kind, x, y in operations:
+        if kind == "insert" or not model:
+            tree.insert(next_oid, (x, y))
+            model[next_oid] = (x, y)
+            next_oid += 1
+        elif kind == "delete":
+            oid = rng.choice(sorted(model))
+            tree.delete(oid, model.pop(oid))
+        else:  # tombstone then revive: must be a no-op overall
+            oid = rng.choice(sorted(model))
+            tree.set_tombstone(oid, model[oid], True)
+            tree.set_tombstone(oid, model[oid], False)
+    return tree, model
+
+
+@given(ops, st.integers(min_value=4, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_leaf_regions_always_tile_universe(operations, max_entries):
+    tree, _model = run_ops(operations, max_entries)
+    tree.validate()
+    regions = [leaf.region for leaf in tree.iter_leaves()]
+    assert Region(regions).covers(UNIT)
+    for i, a in enumerate(regions):
+        for b in regions[i + 1 :]:
+            assert not a.intersects_open(b)
+
+
+@given(ops, st.integers(min_value=4, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_contents_match_model(operations, max_entries):
+    tree, model = run_ops(operations, max_entries)
+    got = sorted(e.oid for e in tree.search(UNIT))
+    assert got == sorted(model)
+    for oid, point in model.items():
+        located = tree.find_entry(oid, point)
+        assert located is not None and located[1].point == point
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_every_point_owned_by_exactly_one_leaf(operations):
+    tree, _model = run_ops(operations, 5)
+    rng = random.Random(11)
+    for _ in range(30):
+        p = (rng.random(), rng.random())
+        owners = [
+            leaf.page_id
+            for leaf in tree.iter_leaves()
+            if _region_contains(leaf.region, p, UNIT)
+        ]
+        assert len(owners) == 1
+
+
+@given(ops, st.integers(min_value=4, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_scan_granule_sets_conflict_iff_regions_overlap(operations, max_entries):
+    """Granular soundness for the partitioned case: two predicates share a
+    scan granule iff their rectangles overlap a common leaf region --
+    trivially true when regions tile, but worth pinning."""
+    tree, _model = run_ops(operations, max_entries)
+    rng = random.Random(13)
+    for _ in range(10):
+        def rand_rect():
+            x, y = rng.random() * 0.8, rng.random() * 0.8
+            return Rect((x, y), (x + rng.random() * 0.2, y + rng.random() * 0.2))
+
+        p1, p2 = rand_rect(), rand_rect()
+        g1 = set(tree.overlapping_leaf_ids(p1))
+        g2 = set(tree.overlapping_leaf_ids(p2))
+        if p1.intersects(p2):
+            assert g1 & g2, "overlapping predicates must share a leaf region"

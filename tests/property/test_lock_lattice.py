@@ -1,0 +1,89 @@
+"""Property-based tests for lock-mode algebra and the lock manager."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lock import LockDuration, LockManager, LockMode, ResourceId
+from repro.lock.manager import SingleThreadedWait
+from repro.lock.modes import compatible, covers, supremum
+
+modes = st.sampled_from(list(LockMode))
+
+
+@given(modes, modes)
+def test_supremum_commutative(a, b):
+    assert supremum(a, b) == supremum(b, a)
+
+
+@given(modes, modes, modes)
+def test_supremum_associative(a, b, c):
+    assert supremum(supremum(a, b), c) == supremum(a, supremum(b, c))
+
+
+@given(modes, modes)
+def test_supremum_is_least_upper_bound(a, b):
+    s = supremum(a, b)
+    assert covers(s, a) and covers(s, b)
+    for candidate in LockMode:
+        if covers(candidate, a) and covers(candidate, b):
+            assert covers(candidate, s)
+
+
+@given(modes, modes, modes)
+def test_compatibility_antitone_in_strength(other, weaker, stronger):
+    """Strengthening a held mode can only lose compatibility, never gain
+    it -- the property that makes checking only effective (supremum) modes
+    sound in the lock manager."""
+    if covers(stronger, weaker):
+        if compatible(other, stronger):
+            assert compatible(other, weaker)
+
+
+@given(modes, modes)
+def test_effective_mode_equals_supremum_in_manager(a, b):
+    lm = LockManager(wait_strategy=SingleThreadedWait())
+    r = ResourceId.leaf(1)
+    lm.acquire("t", r, a)
+    lm.acquire("t", r, b)
+    assert lm.held_mode("t", r) == supremum(a, b)
+
+
+@given(st.lists(st.tuples(modes, st.sampled_from(list(LockDuration))), min_size=1, max_size=6))
+@settings(max_examples=100)
+def test_end_operation_leaves_exactly_commit_locks(holds):
+    lm = LockManager(wait_strategy=SingleThreadedWait())
+    r = ResourceId.leaf(1)
+    for mode, duration in holds:
+        lm.acquire("t", r, mode, duration)
+    lm.end_operation("t")
+    commit_modes = [m for m, d in holds if d is LockDuration.COMMIT]
+    if commit_modes:
+        expected = commit_modes[0]
+        for m in commit_modes[1:]:
+            expected = supremum(expected, m)
+        assert lm.held_mode("t", r) == expected
+    else:
+        assert lm.held_mode("t", r) is None
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["t1", "t2", "t3"]), modes, st.integers(1, 3)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=100)
+def test_granted_groups_always_pairwise_compatible(requests):
+    """Whatever sequence of conditional requests is issued, the set of
+    granted (transaction, effective-mode) pairs on a resource must be
+    pairwise compatible."""
+    lm = LockManager(wait_strategy=SingleThreadedWait())
+    for txn, mode, res in requests:
+        lm.acquire(txn, ResourceId.leaf(res), mode, conditional=True)
+    for res in (1, 2, 3):
+        holders = lm.holders(ResourceId.leaf(res))
+        items = list(holders.items())
+        for i, (t1, m1) in enumerate(items):
+            for t2, m2 in items[i + 1 :]:
+                assert compatible(m1, m2), f"{t1}:{m1} vs {t2}:{m2} on {res}"

@@ -1,0 +1,93 @@
+"""Property-based tests: the R-tree under random operation sequences."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.rtree import RTree, RTreeConfig, validate_tree
+
+coord = st.floats(min_value=0, max_value=1, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def small_rects(draw):
+    x = draw(st.floats(min_value=0, max_value=0.95, allow_nan=False))
+    y = draw(st.floats(min_value=0, max_value=0.95, allow_nan=False))
+    w = draw(st.floats(min_value=0, max_value=0.05, allow_nan=False))
+    h = draw(st.floats(min_value=0, max_value=0.05, allow_nan=False))
+    return Rect((x, y), (x + w, y + h))
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete", "search"]), small_rects()),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops, st.integers(min_value=4, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_tree_matches_reference_model(operations, fanout):
+    """The R-tree must agree with a brute-force dict model after any
+    sequence of inserts, deletes and searches, and stay structurally
+    valid throughout."""
+    tree = RTree(RTreeConfig(max_entries=fanout))
+    model = {}
+    next_oid = 0
+    rng = random.Random(42)
+    for kind, rect in operations:
+        if kind == "insert":
+            tree.insert(next_oid, rect)
+            model[next_oid] = rect
+            next_oid += 1
+        elif kind == "delete" and model:
+            oid = rng.choice(list(model))
+            tree.delete(oid, model.pop(oid))
+        elif kind == "search":
+            got = sorted(e.oid for e in tree.search(rect))
+            want = sorted(oid for oid, r in model.items() if r.intersects(rect))
+            assert got == want
+    validate_tree(tree)
+    assert len(tree) == len(model)
+    got = sorted(e.oid for e in tree.search(Rect((0, 0), (1, 1))))
+    assert got == sorted(model)
+
+
+@given(st.lists(small_rects(), min_size=1, max_size=80), st.integers(min_value=4, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_every_inserted_object_findable(rect_list, fanout):
+    tree = RTree(RTreeConfig(max_entries=fanout))
+    for i, rect in enumerate(rect_list):
+        tree.insert(i, rect)
+    for i, rect in enumerate(rect_list):
+        located = tree.find_entry(i, rect)
+        assert located is not None and located[1].rect == rect
+
+
+@given(st.lists(small_rects(), min_size=2, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_plan_never_lies_about_target(rect_list):
+    """plan_insert's chosen leaf must be where the entry actually lands."""
+    tree = RTree(RTreeConfig(max_entries=5))
+    for i, rect in enumerate(rect_list):
+        plan = tree.plan_insert(rect)
+        report = tree.insert(i, rect)
+        assert report.target_leaf == plan.leaf_id
+
+
+@given(st.lists(small_rects(), min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_tombstones_equivalent_to_absence_for_search(rect_list):
+    tree = RTree(RTreeConfig(max_entries=5))
+    for i, rect in enumerate(rect_list):
+        tree.insert(i, rect)
+    # tombstone every even object
+    for i, rect in enumerate(rect_list):
+        if i % 2 == 0:
+            tree.set_tombstone(i, rect, True)
+    got = sorted(e.oid for e in tree.search(Rect((0, 0), (1, 1))))
+    assert got == [i for i in range(len(rect_list)) if i % 2 == 1]
+    # physical layout unchanged: tombstoned entries still present
+    assert len(tree.all_entries(include_tombstones=True)) == len(rect_list)

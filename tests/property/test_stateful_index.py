@@ -1,0 +1,170 @@
+"""Stateful property testing: the index versus a dictionary model.
+
+Hypothesis drives arbitrary interleavings of the public API (insert,
+logical delete, vacuum, scans, updates, savepoints, aborts) against a
+plain-dict reference model.  After every step the index must agree with
+the model and every structural invariant must hold.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.rtree import RTreeConfig, validate_tree
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+coords = st.floats(min_value=0.0, max_value=0.93, allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.0, max_value=0.05, allow_nan=False, allow_infinity=False)
+
+
+class IndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.index = PhantomProtectedRTree(RTreeConfig(max_entries=5, universe=UNIT))
+        self.txn = self.index.begin("machine")
+        #: committed-equivalent model: what the single transaction sees
+        self.model = {}
+        self.payload_model = {}
+        self.next_oid = 0
+        #: stack of (savepoint, model snapshot, payload snapshot)
+        self.savepoints = []
+
+    # -- rules ------------------------------------------------------------
+
+    @rule(x=coords, y=coords, w=sizes, h=sizes)
+    def insert(self, x, y, w, h):
+        rect = Rect((x, y), (x + w, y + h))
+        oid = self.next_oid
+        self.next_oid += 1
+        self.index.insert(self.txn, oid, rect, payload=f"p{oid}")
+        self.model[oid] = rect
+        self.payload_model[oid] = f"p{oid}"
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        result = self.index.delete(self.txn, oid, self.model[oid])
+        assert result.found
+        del self.model[oid]
+        self.payload_model.pop(oid, None)
+
+    @rule()
+    def delete_missing(self):
+        result = self.index.delete(self.txn, "never-existed", Rect((0.5, 0.5), (0.6, 0.6)))
+        assert not result.found
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def update(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        result = self.index.update_single(self.txn, oid, self.model[oid], payload="updated")
+        assert result.found
+        self.payload_model[oid] = "updated"
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def read_single(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        result = self.index.read_single(self.txn, oid, self.model[oid])
+        assert result.found
+        assert result.rect == self.model[oid]
+        assert result.payload == self.payload_model.get(oid)
+
+    @rule(x=coords, y=coords, w=sizes, h=sizes)
+    def scan_matches_model(self, x, y, w, h):
+        predicate = Rect((x, y), (min(1.0, x + w * 4), min(1.0, y + h * 4)))
+        result = self.index.read_scan(self.txn, predicate)
+        want = sorted(
+            str(oid) for oid, rect in self.model.items() if rect.intersects(predicate)
+        )
+        assert sorted(map(str, result.oids)) == want
+
+    @rule(x=coords, y=coords, w=sizes)
+    def update_scan(self, x, y, w):
+        predicate = Rect((x, y), (min(1.0, x + w * 3), min(1.0, y + w * 3)))
+        result = self.index.update_scan(
+            self.txn, predicate, lambda oid, rect, old: f"bulk-{oid}"
+        )
+        want = sorted(
+            str(oid) for oid, rect in self.model.items() if rect.intersects(predicate)
+        )
+        assert sorted(map(str, result.oids)) == want
+        for oid in self.model:
+            if self.model[oid].intersects(predicate):
+                self.payload_model[oid] = f"bulk-{oid}"
+
+    @rule()
+    def read_single_missing(self):
+        result = self.index.read_single(
+            self.txn, "never-existed", Rect((0.5, 0.5), (0.51, 0.51))
+        )
+        assert not result.found
+        assert result.locks_taken == []
+
+    @rule()
+    def savepoint(self):
+        self.savepoints.append(
+            (self.index.savepoint(self.txn), dict(self.model), dict(self.payload_model))
+        )
+
+    @precondition(lambda self: self.savepoints)
+    @rule()
+    def rollback_to_savepoint(self):
+        marker, model, payloads = self.savepoints.pop()
+        self.index.rollback_to(self.txn, marker)
+        self.model = model
+        self.payload_model = payloads
+        # nested savepoints created after this one are now invalid
+        self.savepoints = [
+            entry for entry in self.savepoints if entry[0][1] <= marker[1]
+        ]
+
+    @rule()
+    def commit_and_restart(self):
+        self.index.commit(self.txn)
+        self.index.vacuum()
+        self.txn = self.index.begin("machine")
+        self.savepoints.clear()
+
+    @rule()
+    def abort_and_restart(self):
+        self.index.abort(self.txn)
+        self.index.vacuum()
+        # everything uncommitted in this txn is gone; rebuild model from
+        # the last commit -- which we equate with scanning a fresh txn
+        self.txn = self.index.begin("machine")
+        with_scan = self.index.read_scan(self.txn, UNIT)
+        self.model = {oid: rect for oid, rect, _p in with_scan.matches}
+        self.payload_model = {oid: p for oid, _r, p in with_scan.matches}
+        self.savepoints.clear()
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def full_scan_equals_model(self):
+        result = self.index.read_scan(self.txn, UNIT)
+        assert sorted(map(str, result.oids)) == sorted(map(str, self.model))
+
+    @invariant()
+    def tree_is_structurally_valid(self):
+        validate_tree(self.index.tree)
+
+    @invariant()
+    def granules_cover_space(self):
+        assert self.index.granules.coverage_leftover().is_empty()
+
+    def teardown(self):
+        if self.txn.is_active:
+            self.index.abort(self.txn)
+
+
+IndexMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestIndexMachine = IndexMachine.TestCase

@@ -1,0 +1,150 @@
+"""Unit tests for the baseline indexes."""
+
+import pytest
+
+from repro.baselines import ObjectLockIndex, PredicateLockIndex, TreeLockIndex
+from repro.baselines.predicate_lock import PredicateLockTable
+from repro.geometry import Rect
+from repro.lock import LockManager, LockMode
+from repro.lock.manager import SingleThreadedWait
+from repro.rtree import RTreeConfig, validate_tree
+
+from tests.conftest import TEN, random_objects, rect
+
+ALL_BASELINES = [TreeLockIndex, PredicateLockIndex, ObjectLockIndex]
+
+
+def make(cls):
+    return cls(RTreeConfig(max_entries=5, universe=TEN))
+
+
+@pytest.mark.parametrize("cls", ALL_BASELINES)
+class TestCommonBehaviour:
+    def test_insert_scan_delete_roundtrip(self, cls):
+        index = make(cls)
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(1, 1, 2, 2), payload="pa")
+            index.insert(txn, "b", rect(8, 8, 9, 9))
+        with index.transaction() as txn:
+            res = index.read_scan(txn, rect(0, 0, 3, 3))
+            assert res.oids == ("a",)
+            assert res.matches[0][2] == "pa"
+        with index.transaction() as txn:
+            assert index.delete(txn, "a", rect(1, 1, 2, 2)).found
+        with index.transaction() as txn:
+            assert index.read_scan(txn, rect(0, 0, 10, 10)).oids == ("b",)
+        validate_tree(index.tree)
+
+    def test_abort_rolls_back_insert_physically(self, cls):
+        index = make(cls)
+        txn = index.begin()
+        index.insert(txn, "ghost", rect(1, 1, 2, 2))
+        index.abort(txn)
+        assert index.tree.size == 0
+        with index.transaction() as txn:
+            assert index.read_scan(txn, rect(0, 0, 10, 10)).oids == ()
+
+    def test_abort_rolls_back_delete(self, cls):
+        index = make(cls)
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(1, 1, 2, 2), payload="keep")
+        txn = index.begin()
+        index.delete(txn, "a", rect(1, 1, 2, 2))
+        index.abort(txn)
+        with index.transaction() as txn:
+            single = index.read_single(txn, "a", rect(1, 1, 2, 2))
+        assert single.found and single.payload == "keep"
+
+    def test_update_scan(self, cls):
+        index = make(cls)
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(1, 1, 2, 2))
+            index.insert(txn, "b", rect(4, 4, 5, 5))
+        with index.transaction() as txn:
+            res = index.update_scan(txn, rect(0, 0, 3, 3), lambda oid, r, old: "updated")
+        assert res.oids == ("a",)
+        with index.transaction() as txn:
+            assert index.read_single(txn, "a", rect(1, 1, 2, 2)).payload == "updated"
+            assert index.read_single(txn, "b", rect(4, 4, 5, 5)).payload is None
+
+    def test_vacuum_is_noop(self, cls):
+        index = make(cls)
+        assert index.vacuum() == 0
+
+    def test_larger_stream(self, cls):
+        index = make(cls)
+        objects = random_objects(200, seed=2, universe=TEN)
+        with index.transaction() as txn:
+            for oid, r in objects:
+                index.insert(txn, oid, r)
+        with index.transaction() as txn:
+            got = index.read_scan(txn, TEN)
+        assert sorted(got.oids) == sorted(o for o, _ in objects)
+        validate_tree(index.tree)
+
+
+class TestTreeLockModes:
+    def test_reader_takes_tree_s(self):
+        index = make(TreeLockIndex)
+        txn = index.begin()
+        index.read_scan(txn, rect(0, 0, 1, 1))
+        assert index.lock_manager.held_mode(txn.txn_id, index._tree_resource) == LockMode.S
+        index.commit(txn)
+
+    def test_writer_takes_tree_x(self):
+        index = make(TreeLockIndex)
+        txn = index.begin()
+        index.insert(txn, "a", rect(0, 0, 1, 1))
+        assert index.lock_manager.held_mode(txn.txn_id, index._tree_resource) == LockMode.X
+        index.commit(txn)
+
+    def test_concurrent_readers_allowed_writers_excluded(self):
+        lm = LockManager(wait_strategy=SingleThreadedWait())
+        index = TreeLockIndex(RTreeConfig(max_entries=5, universe=TEN), lock_manager=lm)
+        r1, r2 = index.begin(), index.begin()
+        index.read_scan(r1, rect(0, 0, 1, 1))
+        index.read_scan(r2, rect(5, 5, 6, 6))  # both readers fine
+        w = index.begin()
+        from repro.lock import WouldBlock
+
+        with pytest.raises(Exception) as exc_info:
+            index.insert(w, "x", rect(2, 2, 3, 3))
+        assert isinstance(exc_info.value, WouldBlock)
+        for t in (r1, r2):
+            index.commit(t)
+
+
+class TestPredicateTable:
+    def test_shared_predicates_coexist(self):
+        table = PredicateLockTable()
+        assert table.acquire("a", rect(0, 0, 5, 5), exclusive=False)
+        assert table.acquire("b", rect(0, 0, 5, 5), exclusive=False)
+
+    def test_exclusive_conflicts_on_overlap(self):
+        table = PredicateLockTable()
+        table.acquire("a", rect(0, 0, 5, 5), exclusive=False)
+        assert not table.acquire("b", rect(4, 4, 6, 6), exclusive=True, conditional=True)
+        assert table.acquire("b", rect(6, 6, 8, 8), exclusive=True, conditional=True)
+
+    def test_release_unblocks(self):
+        table = PredicateLockTable()
+        table.acquire("a", rect(0, 0, 5, 5), exclusive=True)
+        assert not table.acquire("b", rect(1, 1, 2, 2), exclusive=False, conditional=True)
+        table.release_all("a")
+        assert table.acquire("b", rect(1, 1, 2, 2), exclusive=False, conditional=True)
+
+    def test_comparisons_counted(self):
+        table = PredicateLockTable()
+        table.acquire("a", rect(0, 0, 1, 1), exclusive=False)
+        table.acquire("b", rect(2, 2, 3, 3), exclusive=True)
+        assert table.comparisons >= 1
+        assert table.held_count() == 2
+
+    def test_comparisons_grow_with_held_predicates(self):
+        table = PredicateLockTable()
+        for i in range(10):
+            table.acquire(f"t{i}", rect(i, 0, i + 0.5, 1), exclusive=False)
+        before = table.comparisons
+        table.acquire("probe", rect(20, 20, 21, 21), exclusive=True)
+        # the probe had to be compared against every held predicate
+        assert table.comparisons - before == 10

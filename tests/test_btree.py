@@ -1,0 +1,160 @@
+"""Unit tests for the B+-tree and Z-order encoding (§2 substrate)."""
+
+import random
+
+import pytest
+
+from repro.btree import BPlusTree, BTreeConfig
+from repro.btree.btree import BTreeError
+from repro.btree.zorder import (
+    DEFAULT_BITS,
+    deinterleave,
+    interleave,
+    interval_looseness,
+    quantise,
+    z_encode_point,
+    z_range_for_rect,
+)
+from repro.geometry import Rect
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+class TestBPlusTree:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.range_scan(0, 1 << 30) == []
+        assert tree.get(5, "a") is None
+
+    def test_insert_get(self):
+        tree = BPlusTree(BTreeConfig(max_keys=4))
+        tree.insert(10, "a", payload="pa")
+        tree.insert(5, "b", payload="pb")
+        assert tree.get(10, "a") == "pa"
+        assert tree.get(5, "b") == "pb"
+        assert tree.get(10, "b") is None
+
+    def test_duplicate_entry_rejected(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        with pytest.raises(BTreeError):
+            tree.insert(1, "a")
+
+    def test_duplicate_keys_different_oids_allowed(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree.range_scan(1, 1)) == 2
+
+    def test_many_inserts_sorted_and_valid(self):
+        rng = random.Random(1)
+        tree = BPlusTree(BTreeConfig(max_keys=6))
+        keys = rng.sample(range(100_000), 2_000)
+        for k in keys:
+            tree.insert(k, k)
+        tree.validate()
+        assert tree.height >= 3
+        scanned = [k for k, _o, _p in tree.range_scan(0, 100_000)]
+        assert scanned == sorted(keys)
+
+    def test_range_scan_matches_brute_force(self):
+        rng = random.Random(2)
+        tree = BPlusTree(BTreeConfig(max_keys=8))
+        keys = rng.sample(range(10_000), 800)
+        for k in keys:
+            tree.insert(k, k)
+        for _ in range(20):
+            lo = rng.randrange(10_000)
+            hi = lo + rng.randrange(3_000)
+            got = [k for k, _o, _p in tree.range_scan(lo, hi)]
+            want = sorted(k for k in keys if lo <= k <= hi)
+            assert got == want
+
+    def test_next_key_after(self):
+        tree = BPlusTree()
+        for k in (10, 20, 30):
+            tree.insert(k, k)
+        assert tree.next_key_after(10) == (20, 20)
+        assert tree.next_key_after(15) == (20, 20)
+        assert tree.next_key_after(30) is None
+        assert tree.first_at_or_after(20) == (20, 20)
+
+    def test_delete(self):
+        rng = random.Random(3)
+        tree = BPlusTree(BTreeConfig(max_keys=6))
+        keys = rng.sample(range(5_000), 400)
+        for k in keys:
+            tree.insert(k, k)
+        for k in keys[:200]:
+            assert tree.delete(k, k)
+        assert not tree.delete(keys[0], keys[0])  # already gone
+        tree.validate()
+        got = [k for k, _o, _p in tree.range_scan(0, 5_000)]
+        assert got == sorted(keys[200:])
+
+    def test_leaf_chain_iteration(self):
+        tree = BPlusTree(BTreeConfig(max_keys=4))
+        for k in range(100):
+            tree.insert(k, k)
+        assert [k for k, _o, _p in tree.iter_from(90)] == list(range(90, 100))
+
+    def test_io_accounting(self):
+        tree = BPlusTree(BTreeConfig(max_keys=4))
+        for k in range(500):
+            tree.insert(k, k)
+        tree.pager.stats.reset()
+        tree.range_scan(100, 200)
+        assert tree.pager.stats.physical_reads > 0
+
+
+class TestZOrder:
+    def test_interleave_roundtrip(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            coords = [rng.randrange(1 << 12) for _ in range(2)]
+            assert deinterleave(interleave(coords, 2), 2) == coords
+        for _ in range(50):
+            coords = [rng.randrange(1 << 8) for _ in range(3)]
+            assert deinterleave(interleave(coords, 3), 3) == coords
+
+    def test_known_small_values(self):
+        assert interleave([0, 0], 2) == 0
+        assert interleave([1, 0], 2) == 1
+        assert interleave([0, 1], 2) == 2
+        assert interleave([1, 1], 2) == 3
+
+    def test_componentwise_monotone(self):
+        """z(a) <= z(b) when a <= b componentwise -- the property that
+        makes the naive Z-interval a sound (if loose) query cover."""
+        rng = random.Random(5)
+        for _ in range(300):
+            a = [rng.randrange(1 << 10) for _ in range(2)]
+            b = [ai + rng.randrange(1 << 6) for ai in a]
+            assert interleave(a, 2) <= interleave(b, 2)
+
+    def test_quantise_bounds(self):
+        assert quantise((0.0, 0.0), UNIT) == [0, 0]
+        top = (1 << DEFAULT_BITS) - 1
+        assert quantise((1.0, 1.0), UNIT) == [top, top]
+        assert quantise((2.0, -1.0), UNIT) == [top, 0]  # clamped
+
+    def test_rect_interval_contains_member_points(self):
+        rng = random.Random(6)
+        for _ in range(100):
+            x, y = rng.random() * 0.8, rng.random() * 0.8
+            rect = Rect((x, y), (x + rng.random() * 0.2, y + rng.random() * 0.2))
+            z_lo, z_hi = z_range_for_rect(rect, UNIT)
+            for _ in range(10):
+                px = rect.lo[0] + rng.random() * rect.side(0)
+                py = rect.lo[1] + rng.random() * rect.side(1)
+                z = z_encode_point((px, py), UNIT)
+                assert z_lo <= z <= z_hi
+
+    def test_interval_looseness_grows_off_grid(self):
+        """A small query straddling a high Z-order boundary has an
+        enormously loose interval -- the §2 pathology."""
+        aligned = Rect((0.1, 0.1), (0.15, 0.15))
+        straddling = Rect((0.48, 0.48), (0.52, 0.52))  # crosses the centre
+        assert interval_looseness(straddling, UNIT) > interval_looseness(aligned, UNIT)
+        assert interval_looseness(straddling, UNIT) > 100

@@ -1,0 +1,63 @@
+"""Unit tests for the mechanism experiments (granule stats, §3.6
+rationale, §3.4 buffer argument) at small scale."""
+
+import pytest
+
+from repro.experiments.delete_rationale import measure_delete_rationale
+from repro.experiments.granule_stats import measure_granule_stats
+from repro.experiments.table2 import measure_buffered_overhead
+
+
+class TestGranuleStats:
+    def test_counts_consistent(self):
+        stats = measure_granule_stats("point", fanout=8, n_objects=800, probes=500)
+        assert stats.leaf_granules > 0
+        assert stats.external_granules >= 1
+        assert stats.height >= 2
+        assert 0.0 <= stats.dead_space_fraction <= 1.0
+        assert stats.overlap_factor >= 0.0
+        assert stats.objects_per_granule * stats.leaf_granules == pytest.approx(
+            800, rel=0.01
+        )
+
+    def test_spatial_overlaps_more_than_point(self):
+        point = measure_granule_stats("point", fanout=8, n_objects=1200, probes=800)
+        spatial = measure_granule_stats("spatial", fanout=8, n_objects=1200, probes=800)
+        assert spatial.overlap_factor > point.overlap_factor
+        assert spatial.dead_space_fraction <= point.dead_space_fraction
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            measure_granule_stats("volumetric", n_objects=10)
+
+
+class TestDeleteRationale:
+    def test_stats_shape(self):
+        stats = measure_delete_rationale("point", fanout=8, n_objects=800, sample=300)
+        assert stats.sampled > 0
+        assert 0 <= stats.uncovered <= stats.sampled
+        assert stats.mean_cover_locks >= 1.0
+        assert stats.max_cover_locks >= 1
+        assert 0.0 <= stats.uncovered_fraction <= 1.0
+
+    def test_some_deletes_need_covering_sets(self):
+        stats = measure_delete_rationale("spatial", fanout=8, n_objects=1000, sample=400)
+        assert stats.uncovered > 0
+        assert stats.max_cover_locks >= 2
+
+    def test_logical_always_cheaper_in_expectation(self):
+        stats = measure_delete_rationale("spatial", fanout=8, n_objects=1000, sample=400)
+        assert stats.mean_cover_locks > 1.0  # physical pays more than logical's 1
+
+
+class TestBufferedOverhead:
+    def test_warm_never_exceeds_cold(self):
+        row = measure_buffered_overhead("point", fanout=8, n_objects=1500, measured=300)
+        assert 0.0 <= row.warm_overhead <= row.cold_overhead
+        assert row.buffer_pages > 0
+
+    def test_shallow_tree_warm_overhead_is_zero(self):
+        # height <= 4 -> every overhead level is within the resident top 3
+        row = measure_buffered_overhead("point", fanout=32, n_objects=1500, measured=300)
+        if row.height <= 4:
+            assert row.warm_overhead == 0.0

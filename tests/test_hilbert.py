@@ -1,0 +1,78 @@
+"""Tests for the Hilbert-curve encoding."""
+
+import random
+
+from repro.btree.hilbert import (
+    h_encode_point,
+    h_range_for_rect,
+    hilbert_index,
+    hilbert_point,
+)
+from repro.btree.zorder import interval_looseness, z_range_for_rect
+from repro.geometry import Rect
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+class TestHilbertCurve:
+    def test_roundtrip(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            x, y = rng.randrange(1 << 10), rng.randrange(1 << 10)
+            d = hilbert_index(x, y, bits=10)
+            assert hilbert_point(d, bits=10) == (x, y)
+
+    def test_bijective_over_small_grid(self):
+        seen = set()
+        for x in range(16):
+            for y in range(16):
+                seen.add(hilbert_index(x, y, bits=4))
+        assert seen == set(range(256))
+
+    def test_adjacent_indexes_are_adjacent_cells(self):
+        """The Hilbert locality property: consecutive curve positions are
+        neighbouring grid cells (Manhattan distance 1)."""
+        for d in range(255):
+            x0, y0 = hilbert_point(d, bits=4)
+            x1, y1 = hilbert_point(d + 1, bits=4)
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+    def test_range_covers_all_member_points(self):
+        rng = random.Random(2)
+        for _ in range(30):
+            x, y = rng.random() * 0.8, rng.random() * 0.8
+            rect = Rect((x, y), (x + rng.random() * 0.1, y + rng.random() * 0.1))
+            lo, hi = h_range_for_rect(rect, UNIT, bits=8)
+            for _ in range(30):
+                px = rect.lo[0] + rng.random() * rect.side(0)
+                py = rect.lo[1] + rng.random() * rect.side(1)
+                assert lo <= h_encode_point((px, py), UNIT, bits=8) <= hi
+
+    def test_single_interval_still_loose_for_straddling_queries(self):
+        """The §2 point is curve-independent: even Hilbert's interval for a
+        centre-straddling query covers a huge share of the key space."""
+        straddling = Rect((0.48, 0.48), (0.52, 0.52))
+        lo, hi = h_range_for_rect(straddling, UNIT, bits=8)
+        key_space = 1 << 16  # 2*8 bits
+        coverage = (hi - lo + 1) / key_space
+        query_area = straddling.area()
+        assert coverage > 50 * query_area  # interval ≫ query
+
+    def test_hilbert_usually_tighter_than_zorder_but_not_fixed(self):
+        rng = random.Random(3)
+        h_loose = []
+        z_loose = []
+        for _ in range(40):
+            x, y = rng.random() * 0.85, rng.random() * 0.85
+            rect = Rect((x, y), (x + 0.1, y + 0.1))
+            z_lo, z_hi = z_range_for_rect(rect, UNIT, bits=8)
+            h_lo, h_hi = h_range_for_rect(rect, UNIT, bits=8)
+            cells = max(1, int(0.1 * 255) + 1) ** 2
+            z_loose.append((z_hi - z_lo + 1) / cells)
+            h_loose.append((h_hi - h_lo + 1) / cells)
+        # median Hilbert looseness may beat Z-order, but both stay far
+        # above 1: a single interval of ANY curve over-covers rectangles.
+        h_loose.sort()
+        z_loose.sort()
+        assert h_loose[len(h_loose) // 2] > 2.0
+        assert z_loose[len(z_loose) // 2] > 2.0

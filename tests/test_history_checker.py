@@ -1,0 +1,184 @@
+"""Unit tests for the history recorder and the anomaly checkers."""
+
+import pytest
+
+from repro.concurrency import (
+    History,
+    OpKind,
+    SerializabilityViolation,
+    check_conflict_serializable,
+    find_phantoms,
+)
+from repro.geometry import Rect
+
+P = Rect((0, 0), (10, 10))
+INSIDE = Rect((2, 2), (3, 3))
+OUTSIDE = Rect((20, 20), (21, 21))
+
+
+def scan(h, txn, result):
+    return h.record(txn, OpKind.READ_SCAN, rect=P, result=result)
+
+
+class TestHistory:
+    def test_commit_order(self):
+        h = History()
+        h.record("a", OpKind.BEGIN)
+        h.record("b", OpKind.BEGIN)
+        h.record("b", OpKind.COMMIT)
+        h.record("a", OpKind.COMMIT)
+        assert h.committed_txns() == ["b", "a"]
+        assert h.outcome("a") is OpKind.COMMIT
+        assert h.outcome("c") is None
+        assert h.commit_seq("b") < h.commit_seq("a")
+
+    def test_by_txn(self):
+        h = History()
+        h.record("a", OpKind.BEGIN)
+        h.record("b", OpKind.BEGIN)
+        h.record("a", OpKind.COMMIT)
+        grouped = h.by_txn()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+
+class TestPhantomOracle:
+    def test_clean_history_is_clean(self):
+        h = History()
+        h.preload({"x": INSIDE})
+        scan(h, "T1", ("x",))
+        h.record("T1", OpKind.COMMIT)
+        assert find_phantoms(h) == []
+
+    def test_insert_after_reader_commit_is_fine(self):
+        h = History()
+        scan(h, "T1", ())
+        h.record("T1", OpKind.COMMIT)
+        h.record("T2", OpKind.INSERT, oid="y", rect=INSIDE)
+        h.record("T2", OpKind.COMMIT)
+        assert find_phantoms(h) == []
+
+    def test_overlapping_insert_inside_window_is_phantom(self):
+        h = History()
+        scan(h, "T1", ())
+        h.record("T2", OpKind.INSERT, oid="y", rect=INSIDE)
+        h.record("T2", OpKind.COMMIT)
+        h.record("T1", OpKind.COMMIT)
+        reports = find_phantoms(h)
+        assert [r.kind for r in reports] == ["instability"]
+
+    def test_non_overlapping_insert_inside_window_is_fine(self):
+        h = History()
+        scan(h, "T1", ())
+        h.record("T2", OpKind.INSERT, oid="y", rect=OUTSIDE)
+        h.record("T2", OpKind.COMMIT)
+        h.record("T1", OpKind.COMMIT)
+        assert find_phantoms(h) == []
+
+    def test_delete_inside_window_is_phantom(self):
+        h = History()
+        h.preload({"x": INSIDE})
+        scan(h, "T1", ("x",))
+        h.record("T2", OpKind.DELETE, oid="x", rect=INSIDE)
+        h.record("T2", OpKind.COMMIT)
+        h.record("T1", OpKind.COMMIT)
+        reports = find_phantoms(h)
+        assert any(r.kind == "instability" for r in reports)
+
+    def test_aborted_writer_causes_no_phantom(self):
+        h = History()
+        scan(h, "T1", ())
+        h.record("T2", OpKind.INSERT, oid="y", rect=INSIDE)
+        h.record("T2", OpKind.ABORT)
+        h.record("T1", OpKind.COMMIT)
+        assert find_phantoms(h) == []
+
+    def test_dirty_read_of_aborted_insert_is_mismatch(self):
+        h = History()
+        h.record("T2", OpKind.INSERT, oid="y", rect=INSIDE)
+        scan(h, "T1", ("y",))  # saw uncommitted insert
+        h.record("T2", OpKind.ABORT)
+        h.record("T1", OpKind.COMMIT)
+        reports = find_phantoms(h)
+        assert any(r.kind == "mismatch" and "extra" in r.detail for r in reports)
+
+    def test_missed_committed_object_is_mismatch(self):
+        h = History()
+        h.preload({"x": INSIDE})
+        scan(h, "T1", ())  # should have seen x
+        h.record("T1", OpKind.COMMIT)
+        reports = find_phantoms(h)
+        assert any(r.kind == "mismatch" and "missing" in r.detail for r in reports)
+
+    def test_reader_sees_own_insert(self):
+        h = History()
+        h.record("T1", OpKind.INSERT, oid="mine", rect=INSIDE)
+        scan(h, "T1", ("mine",))
+        h.record("T1", OpKind.COMMIT)
+        assert find_phantoms(h) == []
+
+    def test_reader_does_not_see_own_later_insert(self):
+        h = History()
+        scan(h, "T1", ())
+        h.record("T1", OpKind.INSERT, oid="mine", rect=INSIDE)
+        h.record("T1", OpKind.COMMIT)
+        assert find_phantoms(h) == []
+
+    def test_uncommitted_reader_not_checked(self):
+        h = History()
+        scan(h, "T1", ())
+        h.record("T2", OpKind.INSERT, oid="y", rect=INSIDE)
+        h.record("T2", OpKind.COMMIT)
+        # T1 never commits -> no anomaly attributable
+        assert find_phantoms(h) == []
+
+    def test_read_single_instability(self):
+        h = History()
+        h.preload({"x": INSIDE})
+        h.record("T1", OpKind.READ_SINGLE, oid="x", rect=INSIDE, result=("x",))
+        h.record("T2", OpKind.DELETE, oid="x", rect=INSIDE)
+        h.record("T2", OpKind.COMMIT)
+        h.record("T1", OpKind.COMMIT)
+        reports = find_phantoms(h)
+        assert any(r.kind == "single-instability" for r in reports)
+
+
+class TestSerializability:
+    def test_disjoint_txns_serializable(self):
+        h = History()
+        h.record("a", OpKind.INSERT, oid=1, rect=INSIDE)
+        h.record("a", OpKind.COMMIT)
+        h.record("b", OpKind.INSERT, oid=2, rect=OUTSIDE)
+        h.record("b", OpKind.COMMIT)
+        check_conflict_serializable(h)
+
+    def test_write_write_cycle_detected(self):
+        h = History()
+        h.record("a", OpKind.DELETE, oid=1, rect=INSIDE)
+        h.record("b", OpKind.DELETE, oid=2, rect=INSIDE)
+        h.record("a", OpKind.INSERT, oid=2, rect=INSIDE)
+        h.record("b", OpKind.INSERT, oid=1, rect=INSIDE)
+        h.record("a", OpKind.COMMIT)
+        h.record("b", OpKind.COMMIT)
+        with pytest.raises(SerializabilityViolation):
+            check_conflict_serializable(h)
+
+    def test_scan_write_cycle_detected(self):
+        h = History()
+        scan(h, "a", ())
+        scan(h, "b", ())
+        h.record("a", OpKind.INSERT, oid=1, rect=INSIDE)
+        h.record("b", OpKind.INSERT, oid=2, rect=INSIDE)
+        h.record("a", OpKind.COMMIT)
+        h.record("b", OpKind.COMMIT)
+        with pytest.raises(SerializabilityViolation):
+            check_conflict_serializable(h)
+
+    def test_aborted_txn_creates_no_edges(self):
+        h = History()
+        scan(h, "a", ())
+        h.record("b", OpKind.INSERT, oid=1, rect=INSIDE)
+        h.record("b", OpKind.ABORT)
+        h.record("a", OpKind.INSERT, oid=2, rect=INSIDE)
+        h.record("a", OpKind.COMMIT)
+        check_conflict_serializable(h)

@@ -1,0 +1,187 @@
+"""Unit tests for the public PhantomProtectedRTree API (single transaction
+streams -- concurrency is exercised in the integration suite)."""
+
+import pytest
+
+from repro.concurrency import History, OpKind, find_phantoms
+from repro.core import InsertionPolicy, PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.rtree import RTreeConfig, validate_tree
+from repro.rtree.tree import RTreeError
+from repro.txn import TransactionAborted, TxnState
+
+from tests.conftest import TEN, random_objects, rect
+
+
+@pytest.fixture
+def index():
+    return PhantomProtectedRTree(RTreeConfig(max_entries=5, universe=TEN))
+
+
+def load(index, objects):
+    with index.transaction("load") as txn:
+        for oid, r in objects:
+            index.insert(txn, oid, r)
+
+
+class TestInsert:
+    def test_insert_and_scan(self, index):
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(1, 1, 2, 2), payload={"k": 1})
+            res = index.read_scan(txn, rect(0, 0, 3, 3))
+        assert res.oids == ("a",)
+        assert res.matches[0][2] == {"k": 1}
+
+    def test_duplicate_insert_fails(self, index):
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(1, 1, 2, 2))
+            with pytest.raises(RTreeError, match="duplicate"):
+                index.insert(txn, "a", rect(1, 1, 2, 2))
+            index.abort(txn, "cleanup")
+
+    def test_result_reports_boundary_changes(self, index):
+        with index.transaction() as txn:
+            first = index.insert(txn, "a", rect(1, 1, 5, 5))
+            inside = index.insert(txn, "b", rect(2, 2, 3, 3))
+            outside = index.insert(txn, "c", rect(8, 8, 9, 9))
+        assert first.changed_boundaries  # empty leaf grew
+        assert not inside.changed_boundaries
+        assert outside.changed_boundaries
+
+    def test_operation_on_finished_txn_fails(self, index):
+        txn = index.begin()
+        index.commit(txn)
+        with pytest.raises(TransactionAborted):
+            index.insert(txn, "a", rect(0, 0, 1, 1))
+
+
+class TestAbortRollback:
+    def test_insert_rolled_back_invisible(self, index):
+        txn = index.begin()
+        index.insert(txn, "ghost", rect(1, 1, 2, 2))
+        index.abort(txn)
+        with index.transaction() as txn2:
+            assert index.read_scan(txn2, rect(0, 0, 10, 10)).oids == ()
+        # rollback left a tombstone for deferred cleanup
+        assert len(index.deferred) == 1
+        assert index.vacuum() == 1
+        validate_tree(index.tree)
+        assert index.tree.size == 0
+
+    def test_delete_rolled_back_object_survives(self, index):
+        load(index, [("a", rect(1, 1, 2, 2))])
+        txn = index.begin()
+        assert index.delete(txn, "a", rect(1, 1, 2, 2)).found
+        index.abort(txn)
+        with index.transaction() as txn2:
+            assert index.read_scan(txn2, rect(0, 0, 10, 10)).oids == ("a",)
+        assert len(index.deferred) == 0
+
+    def test_update_rolled_back_payload_restored(self, index):
+        load(index, [("a", rect(1, 1, 2, 2))])
+        with index.transaction() as txn:
+            index.update_single(txn, "a", rect(1, 1, 2, 2), payload="v1")
+        txn = index.begin()
+        index.update_single(txn, "a", rect(1, 1, 2, 2), payload="v2")
+        index.abort(txn)
+        with index.transaction() as txn:
+            assert index.read_single(txn, "a", rect(1, 1, 2, 2)).payload == "v1"
+
+
+class TestDelete:
+    def test_delete_is_logical_until_vacuum(self, index):
+        load(index, [("a", rect(1, 1, 2, 2)), ("b", rect(3, 3, 4, 4))])
+        with index.transaction() as txn:
+            index.delete(txn, "a", rect(1, 1, 2, 2))
+        # physically still in the tree, logically gone
+        assert index.tree.size == 1
+        assert len(index.tree.all_entries(include_tombstones=True)) == 2
+        with index.transaction() as txn:
+            assert index.read_scan(txn, rect(0, 0, 10, 10)).oids == ("b",)
+        assert index.vacuum() == 1
+        assert len(index.tree.all_entries(include_tombstones=True)) == 1
+
+    def test_delete_missing_returns_not_found(self, index):
+        with index.transaction() as txn:
+            assert not index.delete(txn, "ghost", rect(1, 1, 2, 2)).found
+
+    def test_delete_twice_second_not_found(self, index):
+        load(index, [("a", rect(1, 1, 2, 2))])
+        with index.transaction() as txn:
+            assert index.delete(txn, "a", rect(1, 1, 2, 2)).found
+        with index.transaction() as txn:
+            assert not index.delete(txn, "a", rect(1, 1, 2, 2)).found
+
+    def test_reinsert_after_committed_delete_and_vacuum(self, index):
+        load(index, [("a", rect(1, 1, 2, 2))])
+        with index.transaction() as txn:
+            index.delete(txn, "a", rect(1, 1, 2, 2))
+        index.vacuum()
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(5, 5, 6, 6))
+        with index.transaction() as txn:
+            res = index.read_scan(txn, rect(0, 0, 10, 10))
+        assert res.oids == ("a",)
+
+
+class TestReads:
+    def test_read_single_found_and_missing(self, index):
+        load(index, [("a", rect(1, 1, 2, 2))])
+        with index.transaction() as txn:
+            hit = index.read_single(txn, "a", rect(1, 1, 2, 2))
+            miss = index.read_single(txn, "zz", rect(5, 5, 6, 6))
+        assert hit.found and hit.rect == rect(1, 1, 2, 2)
+        assert not miss.found
+
+    def test_scan_excludes_non_overlapping(self, index):
+        load(index, [("a", rect(1, 1, 2, 2)), ("b", rect(8, 8, 9, 9))])
+        with index.transaction() as txn:
+            assert index.read_scan(txn, rect(0, 0, 3, 3)).oids == ("a",)
+
+    def test_scan_sees_own_uncommitted_writes(self, index):
+        load(index, [("a", rect(1, 1, 2, 2))])
+        with index.transaction() as txn:
+            index.insert(txn, "mine", rect(2, 2, 3, 3))
+            index.delete(txn, "a", rect(1, 1, 2, 2))
+            res = index.read_scan(txn, rect(0, 0, 10, 10))
+            assert res.oids == ("mine",)
+
+    def test_update_scan_applies_and_reports(self, index):
+        load(index, [("a", rect(1, 1, 2, 2)), ("b", rect(3, 3, 4, 4)), ("c", rect(8, 8, 9, 9))])
+        with index.transaction() as txn:
+            res = index.update_scan(txn, rect(0, 0, 5, 5), lambda oid, r, old: f"new-{oid}")
+        assert sorted(res.oids) == ["a", "b"]
+        with index.transaction() as txn:
+            assert index.read_single(txn, "a", rect(1, 1, 2, 2)).payload == "new-a"
+            assert index.read_single(txn, "c", rect(8, 8, 9, 9)).payload is None
+
+
+class TestHistoryRecording:
+    def test_ops_recorded_with_kinds(self):
+        hist = History()
+        index = PhantomProtectedRTree(
+            RTreeConfig(max_entries=5, universe=TEN), history=hist
+        )
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(1, 1, 2, 2))
+            index.read_scan(txn, rect(0, 0, 3, 3))
+        kinds = [op.kind for op in hist.ops]
+        assert kinds == [OpKind.BEGIN, OpKind.INSERT, OpKind.READ_SCAN, OpKind.COMMIT]
+        assert find_phantoms(hist) == []
+
+    def test_larger_single_threaded_run_is_clean(self):
+        hist = History()
+        index = PhantomProtectedRTree(
+            RTreeConfig(max_entries=5), history=hist, policy=InsertionPolicy.ALL_PATHS
+        )
+        objects = random_objects(300, seed=6)
+        load(index, objects)
+        with index.transaction() as txn:
+            for oid, r in objects[:50]:
+                index.delete(txn, oid, r)
+        index.vacuum()
+        with index.transaction() as txn:
+            res = index.read_scan(txn, Rect((0, 0), (1, 1)))
+        assert sorted(res.oids) == sorted(oid for oid, _ in objects[50:])
+        assert find_phantoms(hist) == []
+        validate_tree(index.tree)

@@ -1,0 +1,216 @@
+"""Tests for KDBPhantomIndex: footnote 4's simplified protocol."""
+
+import random
+
+import pytest
+
+from repro.concurrency import (
+    History,
+    SimulatedWait,
+    Simulator,
+    check_conflict_serializable,
+    find_phantoms,
+)
+from repro.geometry import Rect
+from repro.kdbtree import KDBConfig, KDBPhantomIndex
+from repro.lock import LockManager
+from repro.txn import TransactionAborted
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+def make(seed=0, max_entries=6, with_sim=False):
+    if with_sim:
+        sim = Simulator(seed=seed)
+        lm = LockManager(wait_strategy=SimulatedWait(sim))
+        history = History()
+        index = KDBPhantomIndex(
+            KDBConfig(max_entries=max_entries), lock_manager=lm,
+            history=history, clock=lambda: sim.clock,
+        )
+        return sim, index, history
+    return KDBPhantomIndex(KDBConfig(max_entries=max_entries))
+
+
+class TestFunctional:
+    def test_insert_scan_delete_roundtrip(self):
+        index = make()
+        rng = random.Random(1)
+        points = {}
+        with index.transaction() as txn:
+            for i in range(300):
+                points[i] = (rng.random(), rng.random())
+                index.insert(txn, i, points[i], payload=f"p{i}")
+        q = Rect((0.2, 0.2), (0.6, 0.6))
+        with index.transaction() as txn:
+            res = index.read_scan(txn, q)
+        want = sorted(i for i, p in points.items() if q.contains_point(p))
+        assert sorted(res.oids) == want
+        with index.transaction() as txn:
+            for i in range(100):
+                assert index.delete(txn, i, points[i]).found
+        assert index.vacuum() == 100
+        index.tree.validate()
+        with index.transaction() as txn:
+            res = index.read_scan(txn, UNIT)
+        assert sorted(res.oids) == list(range(100, 300))
+
+    def test_abort_rolls_back(self):
+        index = make()
+        txn = index.begin()
+        index.insert(txn, "ghost", (0.5, 0.5))
+        index.abort(txn)
+        index.vacuum()
+        with index.transaction() as txn:
+            assert index.read_scan(txn, UNIT).oids == ()
+        index.tree.validate()
+
+    def test_read_and_update_single(self):
+        index = make()
+        with index.transaction() as txn:
+            index.insert(txn, "a", (0.3, 0.3), payload="v1")
+        with index.transaction() as txn:
+            assert index.read_single(txn, "a", (0.3, 0.3)).payload == "v1"
+            index.update_single(txn, "a", (0.3, 0.3), payload="v2")
+        with index.transaction() as txn:
+            assert index.read_single(txn, "a", (0.3, 0.3)).payload == "v2"
+
+    def test_revival_after_committed_delete(self):
+        index = make()
+        with index.transaction() as txn:
+            index.insert(txn, "a", (0.4, 0.4))
+        with index.transaction() as txn:
+            index.delete(txn, "a", (0.4, 0.4))
+        with index.transaction() as txn:
+            index.insert(txn, "a", (0.4, 0.4), payload="revived")
+        index.vacuum()  # must skip the revived entry
+        with index.transaction() as txn:
+            single = index.read_single(txn, "a", (0.4, 0.4))
+        assert single.found and single.payload == "revived"
+
+
+class TestSimplifiedLocks:
+    def test_plain_insert_takes_two_locks(self):
+        index = make(max_entries=8)
+        with index.transaction() as txn:
+            index.insert(txn, "seed", (0.2, 0.2))
+        with index.transaction() as txn:
+            res = index.insert(txn, "a", (0.3, 0.3))
+        assert len(res.locks_taken) == 2  # IX region + X object
+
+    def test_no_ext_or_six_locks_without_splits(self):
+        index = make(max_entries=16)
+        lm = index.lock_manager
+        rng = random.Random(2)
+        with index.transaction() as txn:
+            for i in range(10):
+                index.insert(txn, i, (rng.random(), rng.random()))
+            index.read_scan(txn, Rect((0.1, 0.1), (0.8, 0.8)))
+        assert "SIX" not in lm.acquisition_counts
+        assert "IS" not in lm.acquisition_counts
+
+    def test_split_takes_short_six_fences(self):
+        index = make(max_entries=4)
+        lm = index.lock_manager
+        rng = random.Random(3)
+        with index.transaction() as txn:
+            for i in range(30):  # forces splits
+                index.insert(txn, i, (rng.random(), rng.random()))
+        assert lm.acquisition_counts.get("SIX", 0) > 0
+
+    def test_scan_locks_equal_overlapping_regions(self):
+        index = make(max_entries=4)
+        rng = random.Random(4)
+        with index.transaction() as txn:
+            for i in range(100):
+                index.insert(txn, i, (rng.random(), rng.random()))
+        q = Rect((0.25, 0.25), (0.7, 0.7))
+        expected = len(index.tree.overlapping_leaf_ids(q))
+        with index.transaction() as txn:
+            res = index.read_scan(txn, q)
+        assert len(res.locks_taken) == expected
+
+
+class TestPhantomSafety:
+    def test_scan_blocks_overlapping_insert(self):
+        sim, index, history = make(with_sim=True)
+        rng = random.Random(5)
+        with index.transaction("load") as txn:
+            for i in range(60):
+                index.insert(txn, i, (rng.random(), rng.random()))
+        region = Rect((0.3, 0.3), (0.5, 0.5))
+        events = []
+
+        def scanner():
+            txn = index.begin("scanner")
+            first = index.read_scan(txn, region)
+            sim.checkpoint(80)
+            second = index.read_scan(txn, region)
+            events.append(("stable", first.oids == second.oids))
+            index.commit(txn)
+            events.append(("scan-done", sim.clock))
+
+        def inserter():
+            sim.checkpoint(5)
+            txn = index.begin("inserter")
+            try:
+                index.insert(txn, "new", (0.4, 0.4))
+                index.commit(txn)
+                events.append(("inserted", sim.clock))
+            except TransactionAborted:
+                events.append(("insert-victim", sim.clock))
+
+        sim.spawn("scanner", scanner)
+        sim.spawn("inserter", inserter)
+        sim.run()
+        sim.raise_process_errors()
+        assert ("stable", True) in events
+        landed = [t for e, t in events if e == "inserted"]
+        done = next(t for e, t in events if e == "scan-done")
+        if landed:
+            assert landed[0] >= done
+        assert find_phantoms(history) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_concurrent_workload_phantom_free(self, seed):
+        sim, index, history = make(seed=seed, max_entries=5, with_sim=True)
+        rng = random.Random(seed)
+        points = {}
+        with index.transaction("load") as txn:
+            for i in range(60):
+                points[i] = (rng.random(), rng.random())
+                index.insert(txn, i, points[i])
+        counter = [500]
+
+        def worker(wid):
+            def body():
+                r = random.Random(seed * 53 + wid)
+                for k in range(4):
+                    txn = index.begin(f"w{wid}-{k}")
+                    try:
+                        for _ in range(3):
+                            roll = r.random()
+                            x, y = r.random() * 0.8, r.random() * 0.8
+                            if roll < 0.45:
+                                index.read_scan(txn, Rect((x, y), (x + 0.15, y + 0.15)))
+                            elif roll < 0.8:
+                                counter[0] += 1
+                                index.insert(txn, counter[0], (r.random(), r.random()))
+                            else:
+                                victim = r.choice(list(points))
+                                index.delete(txn, victim, points[victim])
+                            sim.checkpoint(r.random() * 8)
+                        index.commit(txn)
+                    except TransactionAborted:
+                        pass
+
+            return body
+
+        for w in range(5):
+            sim.spawn(f"w{w}", worker(w), delay=w * 0.1)
+        sim.run()
+        sim.raise_process_errors()
+        index.vacuum()
+        assert find_phantoms(history) == []
+        check_conflict_serializable(history)
+        index.tree.validate()

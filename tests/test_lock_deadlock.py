@@ -1,0 +1,183 @@
+"""Unit tests for deadlock detection and victim selection (threaded mode)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.lock import DeadlockError, LockManager, LockMode, ResourceId
+
+S, X = LockMode.S, LockMode.X
+R1, R2, R3 = ResourceId.leaf(1), ResourceId.leaf(2), ResourceId.leaf(3)
+
+
+def run_all(workers, timeout=10.0):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        assert not t.is_alive(), "worker hung"
+
+
+class TestTwoPartyDeadlock:
+    def test_cycle_broken_one_survives(self):
+        lm = LockManager()
+        lm.acquire("a", R1, X)
+        lm.acquire("b", R2, X)
+        outcome = {}
+        barrier = threading.Barrier(2)
+
+        # stagger: a waits first, then b closes the cycle
+        def a_body():
+            barrier.wait()
+            try:
+                lm.acquire("a", R2, X)
+                outcome["a"] = "ok"
+            except DeadlockError:
+                outcome["a"] = "victim"
+            finally:
+                lm.release_all("a")
+
+        def b_body():
+            barrier.wait()
+            time.sleep(0.15)
+            try:
+                lm.acquire("b", R1, X)
+                outcome["b"] = "ok"
+            except DeadlockError:
+                outcome["b"] = "victim"
+            finally:
+                lm.release_all("b")
+
+        run_all([a_body, b_body])
+        assert sorted(outcome.values()) == ["ok", "victim"]
+        assert lm.deadlock_count >= 1
+
+    def test_victim_is_youngest_by_default(self):
+        lm = LockManager()
+        lm.acquire("old", R1, X)  # first seen -> older
+        lm.acquire("young", R2, X)
+        outcome = {}
+
+        def old_body():
+            try:
+                lm.acquire("old", R2, X)
+                outcome["old"] = "ok"
+            except DeadlockError:
+                outcome["old"] = "victim"
+            finally:
+                lm.release_all("old")
+
+        def young_body():
+            time.sleep(0.15)
+            try:
+                lm.acquire("young", R1, X)
+                outcome["young"] = "ok"
+            except DeadlockError:
+                outcome["young"] = "victim"
+            finally:
+                lm.release_all("young")
+
+        run_all([old_body, young_body])
+        assert outcome == {"old": "ok", "young": "victim"}
+
+    def test_custom_victim_selector(self):
+        chosen = []
+
+        def pick_first_alphabetical(cycle):
+            victim = sorted(map(str, cycle))[0]
+            chosen.append(victim)
+            return victim
+
+        lm = LockManager(victim_selector=pick_first_alphabetical)
+        lm.acquire("a", R1, X)
+        lm.acquire("b", R2, X)
+        outcome = {}
+
+        def a_body():
+            try:
+                lm.acquire("a", R2, X)
+                outcome["a"] = "ok"
+            except DeadlockError:
+                outcome["a"] = "victim"
+            finally:
+                lm.release_all("a")
+
+        def b_body():
+            time.sleep(0.15)
+            try:
+                lm.acquire("b", R1, X)
+                outcome["b"] = "ok"
+            except DeadlockError:
+                outcome["b"] = "victim"
+            finally:
+                lm.release_all("b")
+
+        run_all([a_body, b_body])
+        assert outcome["a"] == "victim"
+        assert chosen == ["a"]
+
+
+class TestThreePartyDeadlock:
+    def test_three_cycle_resolved(self):
+        lm = LockManager()
+        lm.acquire("a", R1, X)
+        lm.acquire("b", R2, X)
+        lm.acquire("c", R3, X)
+        outcome = {}
+
+        def party(me, want, delay):
+            def body():
+                time.sleep(delay)
+                try:
+                    lm.acquire(me, want, X)
+                    outcome[me] = "ok"
+                except DeadlockError:
+                    outcome[me] = "victim"
+                finally:
+                    lm.release_all(me)
+
+            return body
+
+        run_all([party("a", R2, 0.0), party("b", R3, 0.1), party("c", R1, 0.2)])
+        assert sorted(outcome.values()).count("victim") >= 1
+        assert sorted(outcome.values()).count("ok") >= 1
+
+
+class TestWaitsForGraph:
+    def test_graph_reflects_blockers(self):
+        lm = LockManager()
+        lm.acquire("holder", R1, X)
+        done = threading.Event()
+
+        def waiter():
+            try:
+                lm.acquire("waiter", R1, S)
+            except Exception:
+                pass
+            finally:
+                lm.release_all("waiter")
+                done.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        for _ in range(1000):
+            if lm.waiting_requests():
+                break
+            time.sleep(0.001)
+        graph = lm.build_waits_for()
+        assert graph == {"waiter": {"holder"}}
+        lm.release_all("holder")
+        assert done.wait(timeout=5)
+        t.join(timeout=5)
+
+    def test_timeout_raises_and_cleans_queue(self):
+        from repro.lock import LockTimeout
+
+        lm = LockManager()
+        lm.acquire("holder", R1, X)
+        with pytest.raises(LockTimeout):
+            lm.acquire("waiter", R1, S, timeout=0.1)
+        assert lm.waiting_requests() == []
+        lm.release_all("holder")

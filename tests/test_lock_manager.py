@@ -1,0 +1,176 @@
+"""Unit tests for the lock manager (single-threaded paths)."""
+
+import pytest
+
+from repro.lock import (
+    LockDuration,
+    LockManager,
+    LockMode,
+    ResourceId,
+    WouldBlock,
+)
+from repro.lock.manager import LockError, SingleThreadedWait
+
+S, X, IX, IS, SIX = LockMode.S, LockMode.X, LockMode.IX, LockMode.IS, LockMode.SIX
+SHORT, COMMIT = LockDuration.SHORT, LockDuration.COMMIT
+
+R1 = ResourceId.leaf(1)
+R2 = ResourceId.leaf(2)
+OBJ = ResourceId.obj("o")
+
+
+@pytest.fixture
+def lm():
+    return LockManager(wait_strategy=SingleThreadedWait())
+
+
+class TestGrantDeny:
+    def test_uncontended_grant(self, lm):
+        assert lm.acquire("t1", R1, S)
+        assert lm.held_mode("t1", R1) == S
+
+    def test_compatible_modes_coexist(self, lm):
+        assert lm.acquire("t1", R1, S)
+        assert lm.acquire("t2", R1, S)
+        assert lm.acquire("t3", R1, IS)
+
+    def test_conflicting_conditional_denied(self, lm):
+        lm.acquire("t1", R1, S)
+        assert not lm.acquire("t2", R1, X, conditional=True)
+        assert lm.held_mode("t2", R1) is None
+
+    def test_conflicting_unconditional_raises_single_threaded(self, lm):
+        lm.acquire("t1", R1, X)
+        with pytest.raises(WouldBlock):
+            lm.acquire("t2", R1, S)
+        # the failed request must not linger in the queue
+        assert lm.waiting_requests() == []
+
+    def test_namespaces_are_disjoint(self, lm):
+        lm.acquire("t1", ResourceId.leaf(5), X)
+        assert lm.acquire("t2", ResourceId.ext(5), X)
+        assert lm.acquire("t3", ResourceId.obj(5), X)
+
+
+class TestConversionAndStacking:
+    def test_self_conversion_s_plus_ix_is_six(self, lm):
+        lm.acquire("t1", R1, S)
+        lm.acquire("t1", R1, IX)
+        assert lm.held_mode("t1", R1) == SIX
+
+    def test_conversion_bypasses_other_holders_check(self, lm):
+        lm.acquire("t1", R1, S)
+        lm.acquire("t2", R1, S)
+        # t1 upgrading to SIX conflicts with t2's S
+        assert not lm.acquire("t1", R1, SIX, conditional=True)
+        lm.release_all("t2")
+        assert lm.acquire("t1", R1, SIX, conditional=True)
+
+    def test_short_upgrade_falls_away_at_operation_end(self, lm):
+        """The §3.3 pattern: commit S + short SIX on an external granule."""
+        lm.acquire("t1", R1, S, COMMIT)
+        lm.acquire("t1", R1, SIX, SHORT)
+        assert lm.held_mode("t1", R1) == SIX
+        assert lm.held_commit_mode("t1", R1) == S
+        lm.end_operation("t1")
+        assert lm.held_mode("t1", R1) == S
+
+    def test_duplicate_acquisitions_stack(self, lm):
+        lm.acquire("t1", R1, IX, COMMIT)
+        lm.acquire("t1", R1, IX, COMMIT)
+        lm.release("t1", R1, IX, COMMIT)
+        assert lm.held_mode("t1", R1) == IX
+        lm.release("t1", R1, IX, COMMIT)
+        assert lm.held_mode("t1", R1) is None
+
+
+class TestRelease:
+    def test_release_unheld_raises(self, lm):
+        with pytest.raises(LockError):
+            lm.release("t1", R1, S, COMMIT)
+
+    def test_release_wrong_mode_raises(self, lm):
+        lm.acquire("t1", R1, S, COMMIT)
+        with pytest.raises(LockError):
+            lm.release("t1", R1, X, COMMIT)
+
+    def test_release_all_clears_everything(self, lm):
+        lm.acquire("t1", R1, S)
+        lm.acquire("t1", R2, X, SHORT)
+        lm.acquire("t1", OBJ, X)
+        lm.release_all("t1")
+        assert lm.locks_of("t1") == {}
+        # resources are free again
+        assert lm.acquire("t2", R1, X, conditional=True)
+        assert lm.acquire("t2", R2, X, conditional=True)
+
+    def test_end_operation_only_drops_short(self, lm):
+        lm.acquire("t1", R1, IX, COMMIT)
+        lm.acquire("t1", R2, IX, SHORT)
+        lm.acquire("t1", OBJ, X, COMMIT)
+        lm.end_operation("t1")
+        held = lm.locks_of("t1")
+        assert R2 not in held
+        assert R1 in held and OBJ in held
+
+    def test_release_unblocks_waiter_conditionally_visible(self, lm):
+        lm.acquire("t1", R1, X)
+        assert not lm.acquire("t2", R1, S, conditional=True)
+        lm.release_all("t1")
+        assert lm.acquire("t2", R1, S, conditional=True)
+
+
+class TestIntrospection:
+    def test_holders(self, lm):
+        lm.acquire("t1", R1, S)
+        lm.acquire("t2", R1, IS)
+        assert lm.holders(R1) == {"t1": S, "t2": IS}
+        assert lm.holders(R2) == {}
+
+    def test_has_conflicting_holder(self, lm):
+        lm.acquire("reader", R1, S)
+        assert lm.has_conflicting_holder(R1, IX)
+        assert not lm.has_conflicting_holder(R1, IS)
+        assert not lm.has_conflicting_holder(R1, IX, ignore=("reader",))
+        assert not lm.has_conflicting_holder(R2, X)
+
+    def test_trace_records_grants_and_denials(self):
+        lm = LockManager(wait_strategy=SingleThreadedWait(), trace=True)
+        lm.acquire("t1", R1, X)
+        lm.acquire("t2", R1, S, conditional=True)
+        assert len(lm.trace) == 2
+        assert lm.trace[0].granted and not lm.trace[1].granted
+        lm.clear_trace()
+        assert lm.trace == []
+
+    def test_acquisition_counters(self, lm):
+        lm.acquire("t1", R1, S)
+        lm.acquire("t1", R2, IX)
+        lm.acquire("t2", OBJ, X)
+        assert lm.total_acquisitions() == 3
+        assert lm.acquisition_counts == {"S": 1, "IX": 1, "X": 1}
+
+    def test_fifo_fairness_new_request_waits_behind_queue(self):
+        """A grantable new request must not overtake earlier waiters."""
+        import threading
+
+        lm = LockManager()
+        lm.acquire("t1", R1, S)
+        order = []
+
+        def want_x():
+            lm.acquire("t2", R1, X)  # queued behind t1's S
+            order.append("t2")
+            lm.release_all("t2")
+
+        thread = threading.Thread(target=want_x)
+        thread.start()
+        # wait until t2 is queued
+        for _ in range(1000):
+            if lm.waiting_requests():
+                break
+        # t3's S would be compatible with t1's S but must not jump t2
+        assert not lm.acquire("t3", R1, S, conditional=True)
+        lm.release_all("t1")
+        thread.join(timeout=5)
+        assert order == ["t2"]

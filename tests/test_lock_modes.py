@@ -1,0 +1,95 @@
+"""Unit tests for lock modes: the paper's Table 1, exactly."""
+
+import pytest
+
+from repro.lock.modes import (
+    MODE_ORDER,
+    LockMode,
+    compatible,
+    covers,
+    is_intention,
+    supremum,
+)
+
+IS, IX, S, SIX, X = LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X
+
+# Table 1, row = requested, column = held.
+PAPER_TABLE_1 = {
+    IS: {IS: True, IX: True, S: True, SIX: True, X: False},
+    IX: {IS: True, IX: True, S: False, SIX: False, X: False},
+    S: {IS: True, IX: False, S: True, SIX: False, X: False},
+    SIX: {IS: True, IX: False, S: False, SIX: False, X: False},
+    X: {IS: False, IX: False, S: False, SIX: False, X: False},
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("requested", list(LockMode))
+    @pytest.mark.parametrize("held", list(LockMode))
+    def test_matches_paper_matrix(self, requested, held):
+        assert compatible(requested, held) == PAPER_TABLE_1[requested][held]
+
+    def test_matrix_is_symmetric(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert compatible(a, b) == compatible(b, a)
+
+    def test_x_conflicts_with_everything(self):
+        assert all(not compatible(X, m) for m in LockMode)
+
+    def test_six_only_compatible_with_is(self):
+        """SIX conflicts with all lock modes except IS -- the property §3.3
+        relies on to fence external-granule changes."""
+        for m in LockMode:
+            assert compatible(SIX, m) == (m is IS)
+
+
+class TestLattice:
+    def test_supremum_s_ix_is_six(self):
+        """The paper defines SIX as the union of S and IX."""
+        assert supremum(S, IX) == SIX
+        assert supremum(IX, S) == SIX
+
+    def test_supremum_idempotent(self):
+        for m in LockMode:
+            assert supremum(m, m) == m
+
+    def test_supremum_with_x_is_x(self):
+        for m in LockMode:
+            assert supremum(m, X) == X
+
+    def test_supremum_is_absorbed(self):
+        for m in LockMode:
+            assert supremum(m, IS) == m
+
+    def test_covers_reflexive(self):
+        for m in LockMode:
+            assert covers(m, m)
+
+    def test_covers_chain(self):
+        assert covers(X, SIX)
+        assert covers(SIX, S)
+        assert covers(SIX, IX)
+        assert covers(S, IS)
+        assert covers(IX, IS)
+        assert not covers(S, IX)
+        assert not covers(IX, S)
+
+    def test_stronger_mode_conflicts_superset(self):
+        """If a covers b, anything conflicting with b conflicts with a --
+        the monotonicity that makes supremum-based granting sound."""
+        for a in LockMode:
+            for b in LockMode:
+                if covers(a, b):
+                    for other in LockMode:
+                        if not compatible(other, b):
+                            assert not compatible(other, a)
+
+    def test_mode_order_is_topological(self):
+        for i, weaker in enumerate(MODE_ORDER):
+            for stronger in MODE_ORDER[i + 1 :]:
+                assert not covers(weaker, stronger) or weaker == stronger
+
+    def test_is_intention(self):
+        assert is_intention(IS) and is_intention(IX)
+        assert not is_intention(S) and not is_intention(SIX) and not is_intention(X)

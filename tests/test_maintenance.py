@@ -1,0 +1,118 @@
+"""Unit tests for deferred physical deletion (§3.6--§3.7)."""
+
+import pytest
+
+from repro.core import PhantomProtectedRTree
+from repro.core.maintenance import DeferredDeleteQueue
+from repro.geometry import Rect
+from repro.rtree import RTreeConfig, validate_tree
+
+from tests.conftest import TEN, random_objects, rect
+
+
+class TestQueue:
+    def test_enqueue_pop_fifo(self):
+        q = DeferredDeleteQueue()
+        q.enqueue("a", rect(0, 0, 1, 1))
+        q.enqueue("b", rect(1, 1, 2, 2))
+        assert len(q) == 2
+        assert q.pop().oid == "a"
+        assert q.pop().oid == "b"
+        assert q.pop() is None
+
+    def test_run_with_limit(self):
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=5, universe=TEN))
+        with index.transaction() as txn:
+            for i in range(6):
+                index.insert(txn, i, rect(i, i, i + 0.5, i + 0.5))
+        with index.transaction() as txn:
+            for i in range(6):
+                index.delete(txn, i, rect(i, i, i + 0.5, i + 0.5))
+        assert len(index.deferred) == 6
+        assert index.vacuum(limit=2) == 2
+        assert len(index.deferred) == 4
+        assert index.vacuum() == 4
+
+    def test_failed_removal_requeued(self):
+        class FailingIndex:
+            calls = 0
+
+            def run_deferred_delete(self, oid, r):
+                FailingIndex.calls += 1
+                raise RuntimeError("transient")
+
+        q = DeferredDeleteQueue()
+        q.enqueue("a", rect(0, 0, 1, 1))
+        assert q.run(FailingIndex()) == 0
+        assert len(q) == 1  # still pending
+
+
+class TestPhysicalDeletion:
+    def test_vacuum_shrinks_granules(self):
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=5, universe=TEN))
+        with index.transaction() as txn:
+            index.insert(txn, "edge", rect(8, 8, 9, 9))
+            index.insert(txn, "mid", rect(4, 4, 5, 5))
+            index.insert(txn, "mid2", rect(3, 3, 4, 4))
+        with index.transaction() as txn:
+            index.delete(txn, "edge", rect(8, 8, 9, 9))
+        # tombstone still pins the MBR
+        leaf = next(index.tree.iter_leaves())
+        assert leaf.mbr().contains(rect(8, 8, 9, 9))
+        index.vacuum()
+        leaf = next(index.tree.iter_leaves())
+        assert not leaf.mbr().contains(rect(8, 8, 9, 9))
+        validate_tree(index.tree)
+
+    def test_vacuum_handles_node_elimination(self):
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=4))
+        objects = random_objects(120, seed=3)
+        with index.transaction() as txn:
+            for oid, r in objects:
+                index.insert(txn, oid, r)
+        with index.transaction() as txn:
+            for oid, r in objects[:100]:
+                index.delete(txn, oid, r)
+        assert index.vacuum() == 100
+        validate_tree(index.tree)
+        assert index.tree.size == 20
+        with index.transaction() as txn:
+            res = index.read_scan(txn, Rect((0, 0), (1, 1)))
+        assert sorted(res.oids) == sorted(oid for oid, _ in objects[100:])
+
+    def test_vacuum_of_vanished_entry_is_noop(self):
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=5, universe=TEN))
+        index.deferred.enqueue("ghost", rect(0, 0, 1, 1))
+        assert index.vacuum() == 1  # processed without error
+        assert len(index.deferred) == 0
+
+    def test_interleaved_delete_vacuum_insert_cycles(self):
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=4))
+        objects = dict(random_objects(150, seed=9))
+        with index.transaction() as txn:
+            for oid, r in objects.items():
+                index.insert(txn, oid, r)
+        import random as _random
+
+        rng = _random.Random(1)
+        live = dict(objects)
+        next_oid = 1000
+        for round_no in range(6):
+            with index.transaction() as txn:
+                for _ in range(25):
+                    if live and rng.random() < 0.5:
+                        oid = rng.choice(list(live))
+                        index.delete(txn, oid, live.pop(oid))
+                    else:
+                        x, y = rng.random() * 0.9, rng.random() * 0.9
+                        r = Rect((x, y), (x + 0.02, y + 0.02))
+                        index.insert(txn, next_oid, r)
+                        live[next_oid] = r
+                        next_oid += 1
+            index.vacuum(limit=10)  # deliberately partial
+            validate_tree(index.tree)
+        index.vacuum()
+        validate_tree(index.tree)
+        with index.transaction() as txn:
+            res = index.read_scan(txn, Rect((0, 0), (1, 1)))
+        assert sorted(map(str, res.oids)) == sorted(map(str, live))

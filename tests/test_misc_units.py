@@ -1,0 +1,118 @@
+"""Small-unit coverage for pieces exercised mostly indirectly elsewhere."""
+
+import pytest
+
+from repro.core.index import InsertResult, OpResult, ScanResult, SingleResult
+from repro.core.policy import InsertionPolicy
+from repro.experiments import render_table
+from repro.experiments.runner import RunConfig, RunMetrics
+from repro.geometry import Rect
+from repro.workloads import MixSpec
+
+
+class TestPolicyFlags:
+    def test_soundness_flags(self):
+        assert not InsertionPolicy.NAIVE.is_sound
+        for policy in (
+            InsertionPolicy.ALL_PATHS,
+            InsertionPolicy.ON_GROWTH,
+            InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS,
+        ):
+            assert policy.is_sound
+
+    def test_modified_flags(self):
+        assert not InsertionPolicy.ALL_PATHS.is_modified
+        assert not InsertionPolicy.NAIVE.is_modified
+        assert InsertionPolicy.ON_GROWTH.is_modified
+        assert InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS.is_modified
+
+
+class TestResultTypes:
+    def test_defaults(self):
+        r = OpResult()
+        assert r.locks_taken == [] and r.lock_waits == 0 and r.physical_reads == 0
+        assert InsertResult().report is None
+        assert not SingleResult().found
+        scan = ScanResult()
+        assert scan.oids == ()
+        scan.matches.append(("a", Rect((0, 0), (1, 1)), None))
+        assert scan.oids == ("a",)
+
+
+class TestRunMetrics:
+    def test_derived_properties(self):
+        m = RunMetrics(index_kind="x", committed=10, aborted=5, sim_time=2000.0,
+                       lock_acquisitions=300, operations=60)
+        assert m.throughput == pytest.approx(5.0)
+        assert m.locks_per_op == pytest.approx(5.0)
+        assert m.abort_rate == pytest.approx(5 / 15)
+
+    def test_zero_divisions_safe(self):
+        m = RunMetrics(index_kind="x")
+        assert m.throughput == 0.0
+        assert m.locks_per_op == 0.0
+        assert m.abort_rate == 0.0
+
+
+class TestRunConfig:
+    def test_defaults_valid(self):
+        cfg = RunConfig()
+        assert cfg.index_kind == "dgl-on-growth"
+        assert cfg.max_retries >= 0
+
+    def test_mix_validation_bubbles(self):
+        with pytest.raises(ValueError):
+            MixSpec(read_scan=0.9, insert=0.9)
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        lines = out.splitlines()
+        assert len(lines) == 2  # header + rule
+
+    def test_mixed_types(self):
+        out = render_table(["n", "v"], [[1, 0.123456], ["long-cell-content", 7]])
+        assert "0.12" in out
+        assert "long-cell-content" in out
+        # all rows padded to equal width
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) <= 2  # trailing-space variations only
+
+
+class TestSimulatedWaitSpuriousWake:
+    def test_waiter_survives_spurious_wake(self):
+        """A wake that does not correspond to the grant must loop back to
+        parking, not return with the request still WAITING."""
+        from repro.concurrency import SimulatedWait, Simulator
+        from repro.lock import LockDuration, LockManager, LockMode, ResourceId
+
+        sim = Simulator()
+        lm = LockManager(wait_strategy=SimulatedWait(sim))
+        r = ResourceId.leaf(1)
+        order = []
+
+        def holder():
+            lm.acquire("holder", r, LockMode.X)
+            sim.checkpoint(10)
+            # spuriously wake the waiter before releasing
+            waiter_proc = next(p for p in sim.processes if p.name == "waiter")
+            sim.wake(waiter_proc)
+            sim.checkpoint(10)
+            lm.release_all("holder")
+            order.append(("released", sim.clock))
+
+        def waiter():
+            sim.checkpoint(1)
+            lm.acquire("waiter", r, LockMode.S)
+            order.append(("granted", sim.clock))
+            lm.release_all("waiter")
+
+        sim.spawn("holder", holder)
+        sim.spawn("waiter", waiter)
+        sim.run()
+        sim.raise_process_errors()
+        assert order == sorted(order, key=lambda e: e[1])
+        granted_at = next(t for e, t in order if e == "granted")
+        released_at = next(t for e, t in order if e == "released")
+        assert granted_at >= released_at

@@ -1,0 +1,67 @@
+"""Unit tests for STR bulk loading."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RTreeConfig, validate_tree
+from repro.rtree.bulk import bulk_load, load_many
+from repro.rtree.tree import RTree
+
+from tests.conftest import random_objects
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load([], RTreeConfig(max_entries=8))
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_single_object(self):
+        tree = bulk_load([("a", Rect((0, 0), (1, 1)))], RTreeConfig(max_entries=8))
+        assert len(tree) == 1
+        validate_tree(tree)
+
+    @pytest.mark.parametrize("n", [5, 50, 500, 3000])
+    def test_various_sizes_valid_and_searchable(self, n):
+        objects = random_objects(n, seed=n)
+        tree = bulk_load(objects, RTreeConfig(max_entries=10))
+        validate_tree(tree)
+        assert len(tree) == n
+        q = Rect((0.25, 0.25), (0.5, 0.5))
+        got = sorted(e.oid for e in tree.search(q))
+        want = sorted(oid for oid, r in objects if r.intersects(q))
+        assert got == want
+
+    def test_same_results_as_incremental_build(self):
+        objects = random_objects(600, seed=42)
+        packed = bulk_load(objects, RTreeConfig(max_entries=8))
+        grown = RTree(RTreeConfig(max_entries=8))
+        load_many(grown, objects)
+        for q in (
+            Rect((0, 0), (0.3, 0.3)),
+            Rect((0.4, 0.1), (0.9, 0.5)),
+            Rect((0, 0), (1, 1)),
+        ):
+            assert sorted(e.oid for e in packed.search(q)) == sorted(
+                e.oid for e in grown.search(q)
+            )
+
+    def test_packed_tree_is_shallower_or_equal(self):
+        objects = random_objects(2000, seed=7)
+        packed = bulk_load(objects, RTreeConfig(max_entries=8))
+        grown = RTree(RTreeConfig(max_entries=8))
+        load_many(grown, objects)
+        assert packed.height <= grown.height
+
+    def test_mutations_after_bulk_load(self):
+        objects = random_objects(500, seed=8)
+        tree = bulk_load(objects, RTreeConfig(max_entries=8))
+        tree.insert(9999, Rect((0.5, 0.5), (0.52, 0.52)))
+        tree.delete(0, dict(objects)[0])
+        validate_tree(tree)
+        assert len(tree) == 500
+
+    def test_fill_factor_bounds_respected(self):
+        objects = random_objects(1000, seed=9)
+        tree = bulk_load(objects, RTreeConfig(max_entries=10), fill_factor=0.7)
+        validate_tree(tree)  # validator enforces min/max entries

@@ -1,0 +1,166 @@
+"""Unit tests for deletion: tombstones, CondenseTree, orphan handling."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RTree, RTreeConfig, validate_tree
+from repro.rtree.entry import LeafEntry
+from repro.rtree.tree import RTreeError
+
+from tests.conftest import random_objects, rect
+
+
+def build(n=200, max_entries=5, seed=0):
+    tree = RTree(RTreeConfig(max_entries=max_entries))
+    objects = random_objects(n, seed=seed)
+    for oid, r in objects:
+        tree.insert(oid, r)
+    return tree, dict(objects)
+
+
+class TestTombstones:
+    def test_tombstone_hides_from_search(self):
+        tree, objects = build(50)
+        oid, r = 7, objects[7]
+        tree.set_tombstone(oid, r, True)
+        assert oid not in [e.oid for e in tree.search(r)]
+        assert oid in [e.oid for e in tree.search(r, include_tombstones=True)]
+        assert len(tree) == 49
+
+    def test_tombstone_clear_restores(self):
+        tree, objects = build(50)
+        tree.set_tombstone(7, objects[7], True)
+        tree.set_tombstone(7, objects[7], False)
+        assert 7 in [e.oid for e in tree.search(objects[7])]
+        assert len(tree) == 50
+
+    def test_double_tombstone_rejected(self):
+        tree, objects = build(50)
+        tree.set_tombstone(7, objects[7], True)
+        with pytest.raises(RTreeError, match="already"):
+            tree.set_tombstone(7, objects[7], True)
+
+    def test_tombstone_missing_object_rejected(self):
+        tree, _ = build(10)
+        with pytest.raises(RTreeError, match="not found"):
+            tree.set_tombstone("nope", Rect((0, 0), (1, 1)), True)
+
+    def test_tombstoned_entry_keeps_granule_coverage(self):
+        """A logically deleted object still holds its place in the MBR."""
+        tree = RTree(RTreeConfig(max_entries=5))
+        tree.insert("edge", rect(0.9, 0.9, 1.0, 1.0))
+        tree.insert("mid", rect(0.4, 0.4, 0.5, 0.5))
+        leaf = next(tree.iter_leaves())
+        before = leaf.mbr()
+        tree.set_tombstone("edge", rect(0.9, 0.9, 1.0, 1.0), True)
+        assert leaf.mbr() == before
+
+
+class TestDelete:
+    def test_delete_then_search(self):
+        tree, objects = build(200)
+        for oid in list(objects)[:100]:
+            tree.delete(oid, objects[oid])
+        validate_tree(tree)
+        assert len(tree) == 100
+        q = Rect((0, 0), (1, 1))
+        remaining = sorted(e.oid for e in tree.search(q))
+        assert remaining == sorted(list(objects)[100:])
+
+    def test_delete_missing_raises(self):
+        tree, _ = build(10)
+        with pytest.raises(RTreeError, match="not found"):
+            tree.delete("ghost", Rect((0, 0), (1, 1)))
+
+    def test_delete_all_leaves_empty_tree(self):
+        tree, objects = build(80, max_entries=4)
+        for oid, r in objects.items():
+            tree.delete(oid, r)
+        assert len(tree) == 0
+        assert tree.height == 1
+        validate_tree(tree)
+
+    def test_delete_shrinks_root_height(self):
+        tree, objects = build(300, max_entries=4)
+        h = tree.height
+        assert h >= 3
+        for oid in list(objects)[:295]:
+            tree.delete(oid, objects[oid])
+        validate_tree(tree)
+        assert tree.height < h
+
+    def test_node_elimination_reinserts_orphans(self):
+        tree, objects = build(120, max_entries=4)
+        eliminated = 0
+        for oid in list(objects):
+            report = tree.delete(oid, objects[oid])
+            eliminated += len(report.eliminated)
+            del objects[oid]
+            # every remaining object must stay findable after reinsertion
+            if eliminated and objects:
+                survivors = sorted(e.oid for e in tree.search(Rect((0, 0), (1, 1))))
+                assert survivors == sorted(objects)
+                break
+        assert eliminated > 0 or not objects
+
+    def test_interleaved_insert_delete_stays_valid(self):
+        rng = random.Random(13)
+        tree = RTree(RTreeConfig(max_entries=4))
+        live = {}
+        next_oid = 0
+        for step in range(800):
+            if live and rng.random() < 0.45:
+                oid = rng.choice(list(live))
+                tree.delete(oid, live.pop(oid))
+            else:
+                x, y = rng.random() * 0.95, rng.random() * 0.95
+                r = Rect((x, y), (x + 0.03, y + 0.03))
+                tree.insert(next_oid, r)
+                live[next_oid] = r
+                next_oid += 1
+            if step % 100 == 99:
+                validate_tree(tree)
+                got = sorted(e.oid for e in tree.search(Rect((0, 0), (1, 1))))
+                assert got == sorted(live)
+        validate_tree(tree)
+
+
+class TestCollectOrphans:
+    def test_orphans_returned_not_reinserted(self):
+        tree, objects = build(120, max_entries=4)
+        # find a deletion that would eliminate a node
+        plan = None
+        victim = None
+        for oid, r in objects.items():
+            plan = tree.plan_delete(oid, r)
+            if plan is not None and plan.underflows:
+                victim = (oid, r)
+                break
+        assert victim is not None, "no underflow candidate found"
+        oid, r = victim
+        report = tree.delete(oid, r, collect_orphans=True)
+        assert report.eliminated
+        assert report.orphans
+        assert len(report.orphans) == len(plan.orphan_rects)
+        assert all(isinstance(e, LeafEntry) for e, _lvl in report.orphans)
+        # reinsert them and verify nothing is lost
+        for entry, level in report.orphans:
+            tree.reinsert_entry(entry, level)
+        validate_tree(tree)
+        survivors = sorted(e.oid for e in tree.search(Rect((0, 0), (1, 1))))
+        assert survivors == sorted(o for o in objects if o != oid)
+
+    def test_plan_predicts_orphan_rects(self):
+        tree, objects = build(120, max_entries=4)
+        for oid, r in objects.items():
+            plan = tree.plan_delete(oid, r)
+            if plan is not None and plan.underflows:
+                report = tree.delete(oid, r, collect_orphans=True)
+                got = sorted((e.rect.lo, e.rect.hi) for e, _ in report.orphans)
+                want = sorted((r2.lo, r2.hi) for r2 in plan.orphan_rects)
+                assert got == want
+                for entry, level in report.orphans:
+                    tree.reinsert_entry(entry, level)
+                break

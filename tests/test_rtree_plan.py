@@ -1,0 +1,133 @@
+"""Unit tests for insert/delete planning (the protocol's crystal ball)."""
+
+from repro.geometry import Rect
+from repro.rtree import RTree, RTreeConfig
+
+from tests.conftest import build_manual_tree, random_objects, rect, TEN
+
+
+class TestInsertPlan:
+    def test_no_growth_no_split(self):
+        tree = RTree(RTreeConfig(max_entries=8, universe=TEN))
+        tree.insert(0, rect(0, 0, 5, 5))
+        plan = tree.plan_insert(rect(1, 1, 2, 2))
+        assert not plan.leaf_grows
+        assert not plan.leaf_splits
+        assert not plan.changes_boundaries
+        assert plan.changed_external_parents == []
+        assert plan.leaf_id == tree.root_id
+
+    def test_growth_detected(self):
+        tree = RTree(RTreeConfig(max_entries=8, universe=TEN))
+        tree.insert(0, rect(0, 0, 2, 2))
+        plan = tree.plan_insert(rect(5, 5, 6, 6))
+        assert plan.leaf_grows
+        assert plan.changes_boundaries
+
+    def test_split_detected(self):
+        tree = RTree(RTreeConfig(max_entries=4, universe=TEN))
+        for i in range(4):
+            tree.insert(i, rect(i, 0, i + 0.5, 1))
+        plan = tree.plan_insert(rect(5, 0, 5.5, 1))
+        assert plan.leaf_splits
+
+    def test_changed_ext_parents_follow_growth(self):
+        cfg = RTreeConfig(max_entries=4, universe=TEN)
+        tree, names = build_manual_tree(
+            cfg,
+            leaves=[
+                [("a", rect(0, 0, 1, 1)), ("b", rect(2, 2, 3, 3))],
+                [("c", rect(6, 6, 7, 7)), ("d", rect(8, 8, 9, 9))],
+            ],
+        )
+        # insert inside leaf0's MBR: nothing changes
+        plan = tree.plan_insert(rect(0.5, 0.5, 0.8, 0.8))
+        assert plan.changed_external_parents == []
+        # insert escaping leaf0: root's external granule changes
+        plan = tree.plan_insert(rect(3, 3, 4, 4))
+        assert plan.leaf_grows
+        assert plan.changed_external_parents == [names["root"]]
+
+    def test_growth_propagates_up_two_levels(self):
+        cfg = RTreeConfig(max_entries=4, universe=TEN)
+        tree, names = build_manual_tree(
+            cfg,
+            leaves=[
+                [("a", rect(0, 0, 1, 1))],
+                [("b", rect(2, 2, 3, 3))],
+                [("c", rect(6, 6, 7, 7))],
+                [("d", rect(8, 8, 9, 9))],
+            ],
+            grouping=[[0, 1], [2, 3]],
+        )
+        # escape leaf0 AND mid0 (whose BR is (0,0)-(3,3)): both the mid
+        # node's and the root's external granules change
+        plan = tree.plan_insert(rect(1, 1, 4.5, 4.5))
+        assert plan.leaf_grows
+        assert set(plan.changed_external_parents) == {names["mid0"], names["root"]}
+        # escape leaf but stay inside the mid BR: only ext(mid) changes
+        plan = tree.plan_insert(rect(2.0, 0.5, 2.5, 1.0))
+        assert plan.leaf_grows
+        assert plan.changed_external_parents in ([names["mid0"]], [names["mid1"]])
+
+    def test_plan_versions_detect_staleness(self):
+        tree = RTree(RTreeConfig(max_entries=8, universe=TEN))
+        tree.insert(0, rect(0, 0, 1, 1))
+        plan = tree.plan_insert(rect(5, 5, 6, 6))
+        assert tree.plan_is_current(plan.versions)
+        tree.insert(1, rect(2, 2, 3, 3))
+        assert not tree.plan_is_current(plan.versions)
+
+    def test_plan_matches_actual_insert(self):
+        tree = RTree(RTreeConfig(max_entries=5))
+        for oid, r in random_objects(250, seed=2):
+            plan = tree.plan_insert(r)
+            report = tree.insert(oid, r)
+            assert report.target_leaf == plan.leaf_id
+            assert bool(report.splits and report.splits[0].level == 0) == plan.leaf_splits
+            if not plan.leaf_splits:
+                # (on a split the surviving left half may shrink, so the
+                # growth record is not comparable to the pre-split plan)
+                leaf_growth = report.grown_leaf_record()
+                grew = leaf_growth is not None and leaf_growth.grew
+                assert grew == plan.leaf_grows
+
+
+class TestDeletePlan:
+    def test_plan_for_missing_object(self):
+        tree = RTree(RTreeConfig(max_entries=8, universe=TEN))
+        assert tree.plan_delete("ghost", rect(0, 0, 1, 1)) is None
+
+    def test_underflow_detected(self):
+        cfg = RTreeConfig(max_entries=4, universe=TEN)
+        tree, names = build_manual_tree(
+            cfg,
+            leaves=[
+                [("a", rect(0, 0, 1, 1)), ("b", rect(2, 2, 3, 3))],
+                [("c", rect(6, 6, 7, 7)), ("d", rect(8, 8, 9, 9))],
+            ],
+        )
+        plan = tree.plan_delete("a", rect(0, 0, 1, 1))
+        assert plan is not None
+        assert plan.underflows  # 1 < min_entries (2)
+        assert plan.orphan_rects == [rect(2, 2, 3, 3)]
+        assert plan.changed_external_parents == [names["root"]]
+
+    def test_no_underflow_boundary_shrink(self):
+        cfg = RTreeConfig(max_entries=8, min_entries=2, universe=TEN)
+        tree, names = build_manual_tree(
+            cfg,
+            leaves=[
+                [("a", rect(0, 0, 1, 1)), ("b", rect(2, 2, 3, 3)), ("c", rect(1, 1, 2, 2))],
+                [("d", rect(6, 6, 7, 7)), ("e", rect(8, 8, 9, 9)), ("f", rect(7, 7, 8, 8))],
+            ],
+        )
+        # deleting 'b' shrinks leaf0's MBR -> ext(root) changes
+        plan = tree.plan_delete("b", rect(2, 2, 3, 3))
+        assert plan is not None
+        assert not plan.underflows
+        assert plan.changed_external_parents == [names["root"]]
+        # deleting 'c' (interior) shrinks nothing
+        plan = tree.plan_delete("c", rect(1, 1, 2, 2))
+        assert plan is not None
+        assert plan.changed_external_parents == []

@@ -1,0 +1,97 @@
+"""Unit tests for the four node-split algorithms."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree.entry import LeafEntry
+from repro.rtree.splits import greene_split, linear_split, quadratic_split, rstar_split
+
+ALGORITHMS = [quadratic_split, linear_split, rstar_split, greene_split]
+
+
+def entries_from(rects):
+    return [LeafEntry(i, r) for i, r in enumerate(rects)]
+
+
+def random_entries(n, seed=0):
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(n):
+        x, y = rng.random() * 10, rng.random() * 10
+        rects.append(Rect((x, y), (x + rng.random(), y + rng.random())))
+    return entries_from(rects)
+
+
+@pytest.mark.parametrize("split", ALGORITHMS)
+class TestCommonProperties:
+    def test_partition_is_exact(self, split):
+        entries = random_entries(11, seed=1)
+        a, b = split(entries, min_fill=3)
+        assert len(a) + len(b) == len(entries)
+        ids = sorted(e.oid for e in a) + sorted(e.oid for e in b)
+        assert sorted(ids) == list(range(11))
+
+    def test_min_fill_respected(self, split):
+        for seed in range(10):
+            entries = random_entries(9, seed=seed)
+            a, b = split(entries, min_fill=4)
+            assert len(a) >= 4
+            assert len(b) >= 4
+
+    def test_minimum_size_input(self, split):
+        entries = random_entries(4, seed=2)
+        a, b = split(entries, min_fill=2)
+        assert len(a) == 2 and len(b) == 2
+
+    def test_too_few_entries_rejected(self, split):
+        entries = random_entries(3, seed=3)
+        with pytest.raises(ValueError):
+            split(entries, min_fill=2)
+
+    def test_identical_rects_still_split(self, split):
+        entries = entries_from([Rect((1, 1), (2, 2))] * 8)
+        a, b = split(entries, min_fill=3)
+        assert len(a) >= 3 and len(b) >= 3
+
+    def test_points_split(self, split):
+        rng = random.Random(7)
+        entries = entries_from(
+            [Rect.from_point((rng.random(), rng.random())) for _ in range(10)]
+        )
+        a, b = split(entries, min_fill=4)
+        assert len(a) + len(b) == 10
+
+
+class TestSeparationQuality:
+    """Two well-separated clusters should split along the gap."""
+
+    def make_clusters(self):
+        left = [Rect((x, 0), (x + 0.5, 1)) for x in (0.0, 0.5, 1.0, 1.5)]
+        right = [Rect((x, 0), (x + 0.5, 1)) for x in (10.0, 10.5, 11.0, 11.5)]
+        return entries_from(left + right)
+
+    @pytest.mark.parametrize("split", ALGORITHMS)
+    def test_clusters_separate(self, split):
+        entries = self.make_clusters()
+        a, b = split(entries, min_fill=2)
+        group_a_x = {e.rect.lo[0] < 5 for e in a}
+        group_b_x = {e.rect.lo[0] < 5 for e in b}
+        assert len(group_a_x) == 1, "group A mixes both clusters"
+        assert len(group_b_x) == 1, "group B mixes both clusters"
+        assert group_a_x != group_b_x
+
+    def test_rstar_minimises_overlap(self):
+        entries = random_entries(20, seed=11)
+        a, b = rstar_split(entries, min_fill=8)
+        mbr_a = Rect.bounding([e.rect for e in a])
+        mbr_b = Rect.bounding([e.rect for e in b])
+        # R* chooses the least-overlap distribution along the best axis;
+        # its overlap must not exceed what the other two produce.
+        for other in (quadratic_split, linear_split):
+            oa, ob = other(entries, min_fill=8)
+            other_overlap = Rect.bounding([e.rect for e in oa]).overlap_area(
+                Rect.bounding([e.rect for e in ob])
+            )
+            assert mbr_a.overlap_area(mbr_b) <= other_overlap + 1e-9

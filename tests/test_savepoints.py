@@ -1,0 +1,150 @@
+"""Tests for savepoints / partial rollback."""
+
+import pytest
+
+from repro.concurrency import History, find_phantoms
+from repro.core import PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.rtree import RTreeConfig, validate_tree
+from repro.txn import TransactionManager, TransactionStateError
+from repro.lock import LockManager, LockMode, ResourceId
+from repro.lock.manager import SingleThreadedWait
+
+from tests.conftest import TEN, rect
+
+
+class TestTransactionLevel:
+    def test_rollback_to_undoes_suffix_only(self):
+        tm = TransactionManager(LockManager(wait_strategy=SingleThreadedWait()))
+        txn = tm.begin()
+        log = []
+        txn.log_undo(lambda: log.append("undo-1"))
+        sp = txn.savepoint()
+        txn.log_undo(lambda: log.append("undo-2"))
+        txn.log_undo(lambda: log.append("undo-3"))
+        tm.rollback_to(txn, sp)
+        assert log == ["undo-3", "undo-2"]
+        assert txn.is_active
+        tm.abort(txn)
+        assert log == ["undo-3", "undo-2", "undo-1"]
+
+    def test_commit_hooks_after_savepoint_dropped(self):
+        tm = TransactionManager(LockManager(wait_strategy=SingleThreadedWait()))
+        txn = tm.begin()
+        fired = []
+        txn.on_commit(lambda: fired.append("keep"))
+        sp = txn.savepoint()
+        txn.on_commit(lambda: fired.append("drop"))
+        tm.rollback_to(txn, sp)
+        tm.commit(txn)
+        assert fired == ["keep"]
+
+    def test_locks_kept_across_partial_rollback(self):
+        lm = LockManager(wait_strategy=SingleThreadedWait())
+        tm = TransactionManager(lm)
+        txn = tm.begin()
+        r = ResourceId.leaf(1)
+        sp = txn.savepoint()
+        lm.acquire(txn.txn_id, r, LockMode.X)
+        tm.rollback_to(txn, sp)
+        assert lm.held_mode(txn.txn_id, r) == LockMode.X
+        tm.commit(txn)
+
+    def test_foreign_savepoint_rejected(self):
+        tm = TransactionManager(LockManager(wait_strategy=SingleThreadedWait()))
+        a, b = tm.begin(), tm.begin()
+        sp = a.savepoint()
+        with pytest.raises(TransactionStateError):
+            tm.rollback_to(b, sp)
+
+    def test_rollback_to_on_finished_txn_rejected(self):
+        tm = TransactionManager(LockManager(wait_strategy=SingleThreadedWait()))
+        txn = tm.begin()
+        sp = txn.savepoint()
+        tm.commit(txn)
+        with pytest.raises(TransactionStateError):
+            tm.rollback_to(txn, sp)
+
+
+class TestIndexLevel:
+    def make(self):
+        hist = History()
+        index = PhantomProtectedRTree(
+            RTreeConfig(max_entries=5, universe=TEN), history=hist
+        )
+        return index, hist
+
+    def test_partial_rollback_of_insert(self):
+        index, hist = self.make()
+        txn = index.begin()
+        index.insert(txn, "keep", rect(1, 1, 2, 2))
+        sp = index.savepoint(txn)
+        index.insert(txn, "drop", rect(5, 5, 6, 6))
+        index.rollback_to(txn, sp)
+        res = index.read_scan(txn, TEN)
+        assert res.oids == ("keep",)
+        index.commit(txn)
+        index.vacuum()
+        validate_tree(index.tree)
+        assert find_phantoms(hist) == []
+
+    def test_partial_rollback_of_delete(self):
+        index, hist = self.make()
+        with index.transaction() as txn:
+            index.insert(txn, "a", rect(1, 1, 2, 2))
+        txn = index.begin()
+        sp = index.savepoint(txn)
+        index.delete(txn, "a", rect(1, 1, 2, 2))
+        assert index.read_scan(txn, TEN).oids == ()
+        index.rollback_to(txn, sp)
+        assert index.read_scan(txn, TEN).oids == ("a",)
+        index.commit(txn)
+        # the rolled-back delete must not have queued a deferred removal
+        assert index.vacuum() == 0
+        with index.transaction() as txn:
+            assert index.read_scan(txn, TEN).oids == ("a",)
+        assert find_phantoms(hist) == []
+
+    def test_nested_savepoints(self):
+        index, hist = self.make()
+        txn = index.begin()
+        index.insert(txn, "one", rect(1, 1, 2, 2))
+        outer = index.savepoint(txn)
+        index.insert(txn, "two", rect(3, 3, 4, 4))
+        inner = index.savepoint(txn)
+        index.insert(txn, "three", rect(5, 5, 6, 6))
+        index.rollback_to(txn, inner)
+        assert sorted(index.read_scan(txn, TEN).oids) == ["one", "two"]
+        index.rollback_to(txn, outer)
+        assert index.read_scan(txn, TEN).oids == ("one",)
+        index.commit(txn)
+        index.vacuum()
+        assert find_phantoms(hist) == []
+
+    def test_work_after_partial_rollback(self):
+        index, hist = self.make()
+        txn = index.begin()
+        sp = index.savepoint(txn)
+        index.insert(txn, "temp", rect(1, 1, 2, 2))
+        index.rollback_to(txn, sp)
+        index.insert(txn, "final", rect(1, 1, 2, 2))
+        index.commit(txn)
+        index.vacuum()
+        with index.transaction() as txn:
+            assert index.read_scan(txn, TEN).oids == ("final",)
+        validate_tree(index.tree)
+        assert find_phantoms(hist) == []
+
+    def test_full_abort_after_partial_rollback(self):
+        index, hist = self.make()
+        txn = index.begin()
+        index.insert(txn, "a", rect(1, 1, 2, 2))
+        sp = index.savepoint(txn)
+        index.insert(txn, "b", rect(3, 3, 4, 4))
+        index.rollback_to(txn, sp)
+        index.abort(txn)
+        index.vacuum()
+        with index.transaction() as txn:
+            assert index.read_scan(txn, TEN).oids == ()
+        validate_tree(index.tree)
+        assert find_phantoms(hist) == []

@@ -1,0 +1,131 @@
+"""Unit tests for the transaction manager."""
+
+import pytest
+
+from repro.lock import LockManager, LockMode, ResourceId
+from repro.lock.manager import SingleThreadedWait
+from repro.txn import (
+    TransactionAborted,
+    TransactionManager,
+    TransactionStateError,
+    TxnState,
+)
+
+
+@pytest.fixture
+def tm():
+    return TransactionManager(LockManager(wait_strategy=SingleThreadedWait()))
+
+
+class TestLifecycle:
+    def test_begin_commit(self, tm):
+        txn = tm.begin("work")
+        assert txn.is_active
+        assert txn.name == "work"
+        tm.commit(txn)
+        assert txn.state is TxnState.COMMITTED
+        assert tm.committed == 1
+        assert txn.txn_id not in tm.active
+
+    def test_begin_abort(self, tm):
+        txn = tm.begin()
+        tm.abort(txn, "because")
+        assert txn.state is TxnState.ABORTED
+        assert txn.abort_reason == "because"
+        assert tm.aborted == 1
+
+    def test_commit_after_abort_rejected(self, tm):
+        txn = tm.begin()
+        tm.abort(txn)
+        with pytest.raises(TransactionStateError):
+            tm.commit(txn)
+
+    def test_double_commit_rejected(self, tm):
+        txn = tm.begin()
+        tm.commit(txn)
+        with pytest.raises(TransactionStateError):
+            tm.commit(txn)
+
+    def test_double_abort_is_idempotent(self, tm):
+        txn = tm.begin()
+        tm.abort(txn)
+        tm.abort(txn)  # no raise
+        assert tm.aborted == 1
+
+    def test_ids_unique_and_increasing(self, tm):
+        a, b, c = tm.begin(), tm.begin(), tm.begin()
+        assert a.txn_id < b.txn_id < c.txn_id
+
+
+class TestUndoAndHooks:
+    def test_undo_runs_in_reverse_order(self, tm):
+        txn = tm.begin()
+        order = []
+        txn.log_undo(lambda: order.append(1))
+        txn.log_undo(lambda: order.append(2))
+        tm.abort(txn)
+        assert order == [2, 1]
+
+    def test_undo_not_run_on_commit(self, tm):
+        txn = tm.begin()
+        called = []
+        txn.log_undo(lambda: called.append("undo"))
+        tm.commit(txn)
+        assert called == []
+
+    def test_commit_hooks_run_in_order(self, tm):
+        txn = tm.begin()
+        order = []
+        txn.on_commit(lambda: order.append("first"))
+        txn.on_commit(lambda: order.append("second"))
+        tm.commit(txn)
+        assert order == ["first", "second"]
+
+    def test_commit_hooks_not_run_on_abort(self, tm):
+        txn = tm.begin()
+        called = []
+        txn.on_commit(lambda: called.append("hook"))
+        tm.abort(txn)
+        assert called == []
+
+
+class TestLockIntegration:
+    def test_commit_releases_locks(self, tm):
+        txn = tm.begin()
+        r = ResourceId.leaf(1)
+        tm.lock_manager.acquire(txn.txn_id, r, LockMode.X)
+        tm.commit(txn)
+        assert tm.lock_manager.holders(r) == {}
+
+    def test_abort_releases_locks_after_undo(self, tm):
+        txn = tm.begin()
+        r = ResourceId.leaf(1)
+        tm.lock_manager.acquire(txn.txn_id, r, LockMode.X)
+        still_held = []
+        txn.log_undo(
+            lambda: still_held.append(tm.lock_manager.held_mode(txn.txn_id, r))
+        )
+        tm.abort(txn)
+        # undo ran while the X lock was still held
+        assert still_held == [LockMode.X]
+        assert tm.lock_manager.holders(r) == {}
+
+
+class TestContextManager:
+    def test_commits_on_success(self, tm):
+        with tm.transaction("ok") as txn:
+            pass
+        assert txn.state is TxnState.COMMITTED
+
+    def test_aborts_on_exception(self, tm):
+        with pytest.raises(RuntimeError):
+            with tm.transaction() as txn:
+                raise RuntimeError("boom")
+        assert txn.state is TxnState.ABORTED
+        assert "boom" in txn.abort_reason
+
+    def test_abort_and_raise_builds_exception(self, tm):
+        txn = tm.begin()
+        exc = tm.abort_and_raise(txn, "deadlock victim")
+        assert isinstance(exc, TransactionAborted)
+        assert txn.state is TxnState.ABORTED

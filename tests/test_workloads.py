@@ -1,0 +1,132 @@
+"""Unit tests for dataset and operation-mix generators."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.workloads import (
+    MixSpec,
+    clustered_rects,
+    generate_scripts,
+    skewed_points,
+    uniform_points,
+    uniform_rects,
+)
+from repro.workloads.datasets import UNIT, PAPER_EXTENT_FRACTION
+
+
+class TestDatasets:
+    def test_uniform_points_are_degenerate_and_inside(self):
+        objs = uniform_points(500, seed=1)
+        assert len(objs) == 500
+        assert len({oid for oid, _ in objs}) == 500
+        for _oid, r in objs:
+            assert r.is_degenerate()
+            assert UNIT.contains(r)
+
+    def test_uniform_rects_average_extent(self):
+        objs = uniform_rects(4000, seed=2)
+        mean_side = sum(r.side(0) for _o, r in objs) / len(objs)
+        assert mean_side == pytest.approx(PAPER_EXTENT_FRACTION, rel=0.15)
+        for _oid, r in objs:
+            assert UNIT.contains(r)
+
+    def test_deterministic_per_seed(self):
+        assert uniform_rects(50, seed=7) == uniform_rects(50, seed=7)
+        assert uniform_rects(50, seed=7) != uniform_rects(50, seed=8)
+
+    def test_start_oid_offsets_ids(self):
+        objs = uniform_points(10, seed=1, start_oid=100)
+        assert [oid for oid, _ in objs] == list(range(100, 110))
+
+    def test_clustered_rects_cluster(self):
+        objs = clustered_rects(600, clusters=3, spread=0.02, seed=3)
+        # clustered data has small bounding regions around few centers:
+        # most pairwise center distances within a cluster are tiny, so the
+        # average nearest-neighbour distance is far below uniform's.
+        centers = [r.center for _o, r in objs]
+        sample = centers[:100]
+
+        def nn(p):
+            return min(
+                (p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2 for q in sample if q != p
+            )
+
+        clustered_nn = sum(nn(p) for p in sample) / len(sample)
+        uni = [r.center for _o, r in uniform_points(600, seed=3)][:100]
+
+        def nn_u(p):
+            return min((p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2 for q in uni if q != p)
+
+        uniform_nn = sum(nn_u(p) for p in uni) / len(uni)
+        assert clustered_nn < uniform_nn
+
+    def test_skewed_points_lean_low(self):
+        objs = skewed_points(2000, exponent=3.0, seed=4)
+        mean_x = sum(r.lo[0] for _o, r in objs) / len(objs)
+        assert mean_x < 0.35  # uniform would be 0.5
+
+    def test_all_inside_custom_universe(self):
+        universe = Rect((10, 10), (20, 20))
+        for objs in (
+            uniform_points(100, seed=1, universe=universe),
+            uniform_rects(100, seed=1, universe=universe),
+            clustered_rects(100, seed=1, universe=universe),
+        ):
+            for _oid, r in objs:
+                assert universe.contains(r)
+
+
+class TestMixSpec:
+    def test_over_unity_mix_rejected(self):
+        with pytest.raises(ValueError):
+            MixSpec(read_scan=0.6, insert=0.5)
+
+    def test_default_valid(self):
+        MixSpec()
+
+
+class TestScripts:
+    def test_shape(self):
+        preload = uniform_rects(50, seed=1)
+        scripts = generate_scripts(preload, n_workers=3, txns_per_worker=4, ops_per_txn=5,
+                                   mix=MixSpec(), seed=2)
+        assert len(scripts) == 3
+        assert all(len(w) == 4 for w in scripts)
+        assert all(len(s.ops) == 5 for w in scripts for s in w)
+
+    def test_deterministic(self):
+        preload = uniform_rects(50, seed=1)
+        a = generate_scripts(preload, 2, 2, 3, MixSpec(), seed=5)
+        b = generate_scripts(preload, 2, 2, 3, MixSpec(), seed=5)
+        assert [
+            (op.kind, op.oid, op.rect) for w in a for s in w for op in s.ops
+        ] == [(op.kind, op.oid, op.rect) for w in b for s in w for op in s.ops]
+
+    def test_insert_oids_unique(self):
+        preload = uniform_rects(50, seed=1)
+        scripts = generate_scripts(preload, 4, 4, 6, MixSpec(insert=0.9, read_scan=0.05,
+                                                             delete=0.0, update_single=0.0),
+                                   seed=2)
+        inserted = [op.oid for w in scripts for s in w for op in s.ops if op.kind == "insert"]
+        assert len(inserted) == len(set(inserted))
+
+    def test_deletes_target_preloaded_objects(self):
+        preload = uniform_rects(50, seed=1)
+        lookup = dict(preload)
+        scripts = generate_scripts(
+            preload, 2, 3, 6,
+            MixSpec(read_scan=0.0, insert=0.0, delete=1.0, update_single=0.0), seed=3,
+        )
+        for w in scripts:
+            for s in w:
+                for op in s.ops:
+                    assert op.kind == "delete"
+                    assert lookup[op.oid] == op.rect
+
+    def test_mix_ratios_roughly_respected(self):
+        preload = uniform_rects(50, seed=1)
+        mix = MixSpec(read_scan=0.5, insert=0.5, delete=0.0, update_single=0.0)
+        scripts = generate_scripts(preload, 4, 10, 20, mix, seed=4)
+        kinds = [op.kind for w in scripts for s in w for op in s.ops]
+        scans = kinds.count("read_scan") / len(kinds)
+        assert 0.35 < scans < 0.65

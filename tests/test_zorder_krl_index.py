@@ -1,0 +1,229 @@
+"""Tests for the Z-order + KRL baseline: functionally correct and
+phantom-safe, but paying §2's predicted overheads."""
+
+import random
+
+import pytest
+
+from repro.baselines.zorder_krl import ZOrderKRLIndex
+from repro.btree import BTreeConfig
+from repro.concurrency import (
+    History,
+    SimulatedWait,
+    Simulator,
+    check_conflict_serializable,
+    find_phantoms,
+)
+from repro.geometry import Rect
+from repro.lock import LockManager
+from repro.txn import TransactionAborted
+from repro.workloads import uniform_rects
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+def make_index(**kwargs):
+    return ZOrderKRLIndex(max_object_extent=0.06, **kwargs)
+
+
+class TestFunctional:
+    def test_insert_scan_roundtrip(self):
+        index = make_index()
+        objects = uniform_rects(300, seed=1, extent_fraction=0.02)
+        with index.transaction() as txn:
+            for oid, rect in objects:
+                index.insert(txn, oid, rect, payload=f"p{oid}")
+        q = Rect((0.2, 0.2), (0.5, 0.5))
+        with index.transaction() as txn:
+            res = index.read_scan(txn, q)
+        want = sorted(oid for oid, rect in objects if rect.intersects(q))
+        assert sorted(res.oids) == want
+        index.tree.validate()
+
+    def test_delete_and_not_found(self):
+        index = make_index()
+        with index.transaction() as txn:
+            index.insert(txn, "a", Rect((0.1, 0.1), (0.12, 0.12)))
+        with index.transaction() as txn:
+            assert index.delete(txn, "a", Rect((0.1, 0.1), (0.12, 0.12))).found
+            assert not index.delete(txn, "a", Rect((0.1, 0.1), (0.12, 0.12))).found
+        with index.transaction() as txn:
+            assert index.read_scan(txn, UNIT).oids == ()
+
+    def test_abort_rolls_back(self):
+        index = make_index()
+        with index.transaction() as txn:
+            index.insert(txn, "keep", Rect((0.3, 0.3), (0.32, 0.32)), payload="v")
+        txn = index.begin()
+        index.insert(txn, "ghost", Rect((0.5, 0.5), (0.52, 0.52)))
+        index.delete(txn, "keep", Rect((0.3, 0.3), (0.32, 0.32)))
+        index.abort(txn)
+        with index.transaction() as txn:
+            res = index.read_scan(txn, UNIT)
+        assert res.oids == ("keep",)
+        with index.transaction() as txn:
+            single = index.read_single(txn, "keep", Rect((0.3, 0.3), (0.32, 0.32)))
+        assert single.found and single.payload == "v"
+
+    def test_update_single_and_scan(self):
+        index = make_index()
+        with index.transaction() as txn:
+            index.insert(txn, "a", Rect((0.1, 0.1), (0.15, 0.15)))
+            index.insert(txn, "b", Rect((0.8, 0.8), (0.85, 0.85)))
+        with index.transaction() as txn:
+            index.update_single(txn, "a", Rect((0.1, 0.1), (0.15, 0.15)), payload="new")
+        with index.transaction() as txn:
+            res = index.update_scan(txn, Rect((0.7, 0.7), (0.9, 0.9)), lambda o, r, old: "bulk")
+        assert res.oids == ("b",)
+        with index.transaction() as txn:
+            assert index.read_single(txn, "a", Rect((0.1, 0.1), (0.15, 0.15))).payload == "new"
+
+    def test_scan_reports_false_locks(self):
+        """The §2 metric: entries locked and read although their
+        rectangles miss the query."""
+        index = make_index()
+        objects = uniform_rects(500, seed=3, extent_fraction=0.01)
+        with index.transaction() as txn:
+            for oid, rect in objects:
+                index.insert(txn, oid, rect)
+        # a small query straddling the universe centre: Z-interval spans
+        # a huge chunk of the key space
+        q = Rect((0.48, 0.48), (0.52, 0.52))
+        with index.transaction() as txn:
+            res = index.read_scan(txn, q)
+        assert res.false_locked > len(res.matches)
+        assert res.interval_entries == res.false_locked + len(res.matches)
+
+
+class TestPhantomSafety:
+    def test_concurrent_insert_into_scanned_region_blocks(self):
+        sim = Simulator(seed=0)
+        lm = LockManager(wait_strategy=SimulatedWait(sim))
+        history = History()
+        index = make_index(lock_manager=lm, history=history, clock=lambda: sim.clock)
+        with index.transaction("load") as txn:
+            for oid, rect in uniform_rects(100, seed=4, extent_fraction=0.02):
+                index.insert(txn, oid, rect)
+        region = Rect((0.3, 0.3), (0.4, 0.4))
+        events = []
+
+        def scanner():
+            txn = index.begin("scanner")
+            first = index.read_scan(txn, region)
+            sim.checkpoint(80)
+            second = index.read_scan(txn, region)
+            events.append(("stable", first.oids == second.oids))
+            index.commit(txn)
+            events.append(("scan-commit", sim.clock))
+
+        def inserter():
+            sim.checkpoint(5)
+            txn = index.begin("inserter")
+            try:
+                index.insert(txn, "new", Rect((0.35, 0.35), (0.37, 0.37)))
+                index.commit(txn)
+                events.append(("insert-commit", sim.clock))
+            except TransactionAborted:
+                events.append(("insert-victim", sim.clock))
+
+        sim.spawn("scanner", scanner)
+        sim.spawn("inserter", inserter)
+        sim.run()
+        sim.raise_process_errors()
+        assert ("stable", True) in events
+        assert find_phantoms(history) == []
+
+    def test_scan_blocks_on_uncommitted_delete(self):
+        """Regression: the deleter's next-key lock must be commit duration.
+
+        With a short-duration next-key lock, a scan issued after the
+        physical removal but before the deleter's commit would miss the
+        (uncommitted-deleted) object: the deleted key is gone from the
+        tree, and its gap's new owner -- the next key -- was no longer
+        locked.  Found by the phantom oracle in a runner workload."""
+        sim = Simulator(seed=1)
+        lm = LockManager(wait_strategy=SimulatedWait(sim))
+        history = History()
+        index = make_index(lock_manager=lm, history=history, clock=lambda: sim.clock)
+        target = Rect((0.4, 0.4), (0.42, 0.42))
+        with index.transaction("load") as txn:
+            index.insert(txn, "victim", target)
+            for oid, rect in uniform_rects(60, seed=8, extent_fraction=0.02, start_oid=100):
+                index.insert(txn, oid, rect)
+        events = []
+
+        def deleter():
+            txn = index.begin("deleter")
+            index.delete(txn, "victim", target)
+            sim.checkpoint(80)
+            index.abort(txn)  # the deletion rolls back: victim survives
+            events.append(("deleter-aborted", sim.clock))
+
+        def scanner():
+            sim.checkpoint(5)
+            txn = index.begin("scanner")
+            res = index.read_scan(txn, Rect((0.35, 0.35), (0.45, 0.45)))
+            events.append(("scan", sim.clock, "victim" in res.oids))
+            index.commit(txn)
+
+        sim.spawn("deleter", deleter)
+        sim.spawn("scanner", scanner)
+        sim.run()
+        sim.raise_process_errors()
+        scan = next(e for e in events if e[0] == "scan")
+        aborted_at = next(e[1] for e in events if e[0] == "deleter-aborted")
+        assert scan[1] >= aborted_at, "scan must wait for the deleter"
+        assert scan[2], "rolled-back deletion must be visible to the scan"
+        assert find_phantoms(history) == []
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_concurrent_workload_phantom_free(self, seed):
+        sim = Simulator(seed=seed)
+        lm = LockManager(wait_strategy=SimulatedWait(sim))
+        history = History()
+        index = make_index(
+            lock_manager=lm, history=history, clock=lambda: sim.clock,
+            btree_config=BTreeConfig(max_keys=8),
+        )
+        rng = random.Random(seed)
+        objects = {}
+        with index.transaction("load") as txn:
+            for i in range(60):
+                x, y = rng.random() * 0.9, rng.random() * 0.9
+                objects[i] = Rect((x, y), (x + 0.03, y + 0.03))
+                index.insert(txn, i, objects[i])
+        counter = [500]
+
+        def worker(wid):
+            def body():
+                r = random.Random(seed * 77 + wid)
+                for k in range(4):
+                    txn = index.begin(f"w{wid}-{k}")
+                    try:
+                        for _ in range(3):
+                            roll = r.random()
+                            x, y = r.random() * 0.8, r.random() * 0.8
+                            if roll < 0.45:
+                                index.read_scan(txn, Rect((x, y), (x + 0.1, y + 0.1)))
+                            elif roll < 0.8:
+                                counter[0] += 1
+                                index.insert(
+                                    txn, counter[0], Rect((x, y), (x + 0.02, y + 0.02))
+                                )
+                            else:
+                                victim = r.choice(list(objects))
+                                index.delete(txn, victim, objects[victim])
+                            sim.checkpoint(r.random() * 6)
+                        index.commit(txn)
+                    except TransactionAborted:
+                        pass
+
+            return body
+
+        for w in range(5):
+            sim.spawn(f"w{w}", worker(w), delay=w * 0.1)
+        sim.run()
+        sim.raise_process_errors()
+        assert find_phantoms(history) == []
+        check_conflict_serializable(history)
+        index.tree.validate()
