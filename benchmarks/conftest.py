@@ -18,7 +18,16 @@ from __future__ import annotations
 import os
 from typing import List
 
+import pytest
+
 _REPORTS: List[str] = []
+
+
+def pytest_collection_modifyitems(items):
+    """Everything in this directory is a benchmark: mark it ``perf`` so
+    CI's tier-1 job can deselect the lot with ``-m "not perf"``."""
+    for item in items:
+        item.add_marker(pytest.mark.perf)
 
 
 def report(text: str) -> None:

@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""Standing benchmark report for the hot-path performance layer.
+
+Runs a fixed suite and writes a JSON report with a stable schema
+(``dgl-bench/1``), so successive PRs can track the same numbers:
+
+* ``scan_dgl``        -- repeated ``read_scan`` transactions over a
+  32,000-object bulk-loaded tree, geometry cache off (before) vs on
+  (after).  This is the lock-acquisition hot path the cache targets.
+* ``insert_throughput`` -- single-threaded transactional inserts,
+  legacy configuration (cache off, one lock stripe) vs the new defaults.
+  Guards against the fast path taxing writers.
+* ``table2_overhead``  -- the paper's Table 2 additional-disk-access
+  metric (unchanged by this layer; tracked to prove it).
+* ``lock_contention``  -- 8 threads hammering acquire/release on the
+  lock table, 1 stripe vs 8 stripes.
+* ``buffer_pool``      -- hit rate of a bounded LRU pool under the scan
+  workload (exercises the single-lookup fetch fast path).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [--smoke] [--out BENCH.json]
+
+``--smoke`` shrinks every scale so the suite finishes in seconds (CI);
+the checked-in ``BENCH_PR1.json`` is produced by a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import threading
+import time
+from typing import Dict, List, Tuple
+
+from repro.core import PhantomProtectedRTree
+from repro.experiments import measure_insertion_overhead
+from repro.geometry import Rect
+from repro.lock import LockManager, LockMode, ResourceId
+from repro.lock.manager import SingleThreadedWait
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTreeConfig
+from repro.storage import BufferPool, PageManager
+from repro.workloads import paper_spatial_dataset
+
+SCHEMA = "dgl-bench/1"
+UNIVERSE = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+def _timed(fn, *args) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def _rate(ops: int, seconds: float) -> float:
+    return ops / seconds if seconds > 0 else float("inf")
+
+
+def _scan_index(n_objects: int, fanout: int, use_cache: bool, stripes: int) -> PhantomProtectedRTree:
+    """A DGL index over a bulk-loaded tree, cache/striping as requested."""
+    config = RTreeConfig(max_entries=fanout, universe=UNIVERSE)
+    objects = paper_spatial_dataset(n_objects, seed=11)
+    tree = bulk_load(objects, config)
+    lm = LockManager(wait_strategy=SingleThreadedWait(), stripes=stripes)
+    index = PhantomProtectedRTree(config, lock_manager=lm)
+    index.tree = tree
+    index.protocol.tree = tree
+    index.protocol.granules.tree = tree
+    if not use_cache:
+        index.protocol.granules.cache = None
+    return index
+
+
+def _scan_predicates(count: int, extent: float, seed: int) -> List[Rect]:
+    rng = random.Random(seed)
+    preds = []
+    for _ in range(count):
+        x = rng.uniform(0.0, 1.0 - extent)
+        y = rng.uniform(0.0, 1.0 - extent)
+        preds.append(Rect((x, y), (x + extent, y + extent)))
+    return preds
+
+
+def bench_scan_dgl(smoke: bool) -> Dict:
+    n_objects = 2_000 if smoke else 32_000
+    n_scans = 40 if smoke else 400
+    preds = _scan_predicates(n_scans, extent=0.05, seed=23)
+
+    def run(use_cache: bool) -> Dict:
+        index = _scan_index(n_objects, fanout=16, use_cache=use_cache, stripes=8)
+
+        def body():
+            total = 0
+            for pred in preds:
+                with index.transaction() as txn:
+                    total += len(index.read_scan(txn, pred).oids)
+            return total
+
+        seconds, found = _timed(body)
+        return {
+            "seconds": round(seconds, 4),
+            "scans": n_scans,
+            "objects_found": found,
+            "scans_per_s": round(_rate(n_scans, seconds), 1),
+        }
+
+    before = run(use_cache=False)
+    after = run(use_cache=True)
+    assert before["objects_found"] == after["objects_found"], "cache changed scan results"
+    return {
+        "params": {"n_objects": n_objects, "fanout": 16, "n_scans": n_scans, "extent": 0.05},
+        "before": before,
+        "after": after,
+        "speedup": round(before["seconds"] / after["seconds"], 2),
+    }
+
+
+def bench_insert_throughput(smoke: bool) -> Dict:
+    n_inserts = 400 if smoke else 4_000
+    objects = paper_spatial_dataset(n_inserts, seed=31)
+
+    def run(use_cache: bool, stripes: int) -> Dict:
+        config = RTreeConfig(max_entries=16, universe=UNIVERSE)
+        lm = LockManager(wait_strategy=SingleThreadedWait(), stripes=stripes)
+        index = PhantomProtectedRTree(config, lock_manager=lm)
+        if not use_cache:
+            index.protocol.granules.cache = None
+
+        def body():
+            for oid, rect in objects:
+                with index.transaction() as txn:
+                    index.insert(txn, oid, rect)
+
+        seconds, _ = _timed(body)
+        return {
+            "seconds": round(seconds, 4),
+            "inserts": n_inserts,
+            "inserts_per_s": round(_rate(n_inserts, seconds), 1),
+        }
+
+    before = run(use_cache=False, stripes=1)
+    after = run(use_cache=True, stripes=8)
+    return {
+        "params": {"n_inserts": n_inserts, "fanout": 16},
+        "before": before,
+        "after": after,
+        "speedup": round(before["seconds"] / after["seconds"], 2),
+    }
+
+
+def bench_table2_overhead(smoke: bool) -> Dict:
+    n_objects = 2_000 if smoke else 32_000
+    measured = 200 if smoke else 2_000
+    row = measure_insertion_overhead(
+        data_kind="point",
+        fanout=16,
+        n_objects=n_objects,
+        measured=measured,
+        bulk_build=True,
+    )
+    return {
+        "params": {"n_objects": n_objects, "measured": measured, "fanout": 16},
+        "height": row.height,
+        "ada_per_level": {str(k): round(v, 3) for k, v in sorted(row.ada_per_level.items())},
+    }
+
+
+def bench_lock_contention(smoke: bool) -> Dict:
+    n_threads = 8
+    ops_per_thread = 500 if smoke else 5_000
+    resources = [ResourceId.leaf(pid) for pid in range(64)]
+
+    def run(stripes: int) -> Dict:
+        lm = LockManager(stripes=stripes)
+        errors: List[BaseException] = []
+
+        def worker(tid: int) -> None:
+            rng = random.Random(tid)
+            txn = f"t{tid}"
+            try:
+                for _ in range(ops_per_thread):
+                    res = resources[rng.randrange(len(resources))]
+                    lm.acquire(txn, res, LockMode.X)
+                    lm.release_all(txn)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+
+        def body():
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        seconds, _ = _timed(body)
+        if errors:
+            raise errors[0]
+        total = n_threads * ops_per_thread
+        return {
+            "seconds": round(seconds, 4),
+            "ops": total,
+            "ops_per_s": round(_rate(total, seconds), 1),
+        }
+
+    before = run(stripes=1)
+    after = run(stripes=8)
+    return {
+        "params": {"threads": n_threads, "ops_per_thread": ops_per_thread, "resources": len(resources)},
+        "before": before,
+        "after": after,
+        "speedup": round(before["seconds"] / after["seconds"], 2),
+    }
+
+
+def bench_buffer_pool(smoke: bool) -> Dict:
+    n_objects = 2_000 if smoke else 32_000
+    n_scans = 40 if smoke else 400
+    # Enough frames for every interior page of the full-scale tree (the
+    # paper's §3.4 claim: the top levels stay resident), not the leaves.
+    capacity = 512
+    config = RTreeConfig(max_entries=16, universe=UNIVERSE)
+    pager = PageManager(buffer_pool=BufferPool(capacity=capacity))
+    tree = bulk_load(paper_spatial_dataset(n_objects, seed=11), config, pager=pager)
+    for pred in _scan_predicates(n_scans, extent=0.05, seed=23):
+        tree.search(pred)
+    pool = tree.pager.buffer_pool
+    return {
+        "params": {"n_objects": n_objects, "n_scans": n_scans, "capacity": capacity},
+        "hits": pool.hits,
+        "misses": pool.misses,
+        "hit_rate": round(pool.hit_rate, 4),
+    }
+
+
+BENCHES = [
+    ("scan_dgl", bench_scan_dgl),
+    ("insert_throughput", bench_insert_throughput),
+    ("table2_overhead", bench_table2_overhead),
+    ("lock_contention", bench_lock_contention),
+    ("buffer_pool", bench_buffer_pool),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny scales for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_PR1.json", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "smoke": args.smoke,
+        "python": platform.python_version(),
+        "results": {},
+    }
+    for name, bench in BENCHES:
+        print(f"[bench] {name} ...", flush=True)
+        seconds, result = _timed(bench, args.smoke)
+        result["bench_seconds"] = round(seconds, 2)
+        report["results"][name] = result
+        summary = {k: v for k, v in result.items() if k in ("speedup", "hit_rate")}
+        print(f"[bench] {name} done in {seconds:.1f}s {summary}", flush=True)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,18 +22,22 @@ class SimulatedWait(WaitStrategy):
         self._waiters: dict = {}
 
     def wait(self, manager: LockManager, request: LockRequest, timeout: Optional[float]) -> None:
-        # Called with the manager mutex held by this (baton-holding)
-        # thread.  Release it while parked so the process that will grant
-        # the lock can get in; the baton discipline guarantees nobody else
-        # touches the manager while we are actually running.
+        # Called with the request's stripe mutex held by this
+        # (baton-holding) thread.  Release it while parked so the process
+        # that will grant the lock can get in; the baton discipline
+        # guarantees nobody else touches the manager while we are actually
+        # running.  (Requests from managers without stripes -- the
+        # predicate-lock baseline -- fall back to the single mutex.)
+        stripe = getattr(request, "stripe", None)
+        mutex = stripe.mutex if stripe is not None else manager._mutex
         proc = self.sim.current()
         self._waiters[id(request)] = proc
         while request.status is RequestStatus.WAITING:
-            manager._mutex.release()
+            mutex.release()
             try:
                 self.sim.block()
             finally:
-                manager._mutex.acquire()
+                mutex.acquire()
         self._waiters.pop(id(request), None)
 
     def notify(self, manager: LockManager, request: LockRequest) -> None:

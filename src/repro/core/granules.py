@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.core.geometry_cache import GeometryCache
 from repro.geometry import Rect, Region
 from repro.lock.resource import ResourceId
 from repro.rtree.node import Node
@@ -48,8 +49,19 @@ class GranuleSet:
     acquisition traffic is exactly the overhead the paper measures.
     """
 
-    def __init__(self, tree: RTree) -> None:
+    def __init__(self, tree: RTree, use_cache: bool = True) -> None:
         self.tree = tree
+        #: versioned geometry cache (``None`` when disabled, e.g. to
+        #: measure the uncached baseline in ``scripts/bench_report.py``)
+        self.cache: Optional[GeometryCache] = GeometryCache(tree) if use_cache else None
+
+    def _active_cache(self) -> Optional[GeometryCache]:
+        """The cache, rebuilt if ``self.tree`` was swapped out from under us
+        (tests replace the tree wholesale via ``adopt_manual_tree``)."""
+        cache = self.cache
+        if cache is not None and cache.tree is not self.tree:
+            cache = self.cache = GeometryCache(self.tree)
+        return cache
 
     # ------------------------------------------------------------------
     # geometry of individual granules
@@ -57,13 +69,26 @@ class GranuleSet:
 
     def node_space(self, node: Node) -> Optional[Rect]:
         """``T_s``: the node's covered space (the universe for the root)."""
+        cache = self._active_cache()
+        if cache is not None:
+            return cache.node_space(node)
         if node.page_id == self.tree.root_id:
             return self.tree.config.universe
+        return node.mbr()
+
+    def node_mbr(self, node: Node) -> Optional[Rect]:
+        """The node's MBR, read through the cache when enabled."""
+        cache = self._active_cache()
+        if cache is not None:
+            return cache.node_mbr(node)
         return node.mbr()
 
     def external_region(self, node: Node) -> Region:
         """The external granule of a non-leaf node: ``T_s − ⋃ children``."""
         assert not node.is_leaf
+        cache = self._active_cache()
+        if cache is not None:
+            return cache.external_region(node)
         space = self.node_space(node)
         if space is None:
             return Region()
@@ -129,7 +154,7 @@ class GranuleSet:
         for ref in refs:
             node = self.tree.node(ref.page_id, count_io=False)
             if ref.is_leaf:
-                mbr = node.mbr()
+                mbr = self.node_mbr(node)
                 geometry: Sequence[Rect] = (mbr,) if mbr is not None else ()
             else:
                 geometry = self.external_region(node).parts
@@ -171,7 +196,7 @@ class GranuleSet:
             return Region()
         for node in self.tree.iter_nodes():
             if node.is_leaf:
-                mbr = node.mbr()
+                mbr = self.node_mbr(node)
                 if mbr is not None:
                     region = region.subtract([mbr])
             else:

@@ -92,6 +92,12 @@ class GranuleLockProtocol:
         #: physical-consistency latch (see module docstring)
         self.latch = threading.RLock()
 
+    @property
+    def geometry_cache(self):
+        """The granule-geometry cache the cover/overlap tests read through
+        (``None`` when the GranuleSet was built with ``use_cache=False``)."""
+        return self.granules.cache
+
     # ------------------------------------------------------------------
     # lock plumbing
     # ------------------------------------------------------------------

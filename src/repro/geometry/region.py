@@ -69,17 +69,27 @@ def subtract_rects(minuend: Rect, subtrahends: Iterable[Rect]) -> List[Rect]:
     return remaining
 
 
+#: sentinel for "bounding box not computed yet" (``None`` means "empty")
+_BBOX_UNSET = object()
+
+
 class Region:
     """A finite union of interior-disjoint rectangles.
 
     Empty regions are allowed (e.g. the external granule of a node whose
     children tile its bounding rectangle exactly).
+
+    The region lazily caches the bounding box of its parts; every
+    predicate first tests against that box, so probes that miss the
+    region entirely (the common case on the lock-acquisition hot path)
+    never scan the parts or run rectangle subtraction.
     """
 
-    __slots__ = ("_parts",)
+    __slots__ = ("_parts", "_bbox")
 
     def __init__(self, parts: Sequence[Rect] = ()) -> None:
         self._parts = tuple(parts)
+        self._bbox = _BBOX_UNSET
 
     # -- constructors ------------------------------------------------------
 
@@ -102,6 +112,13 @@ class Region:
     def parts(self) -> Sequence[Rect]:
         return self._parts
 
+    @property
+    def bbox(self) -> "Rect | None":
+        """Bounding box of the parts (``None`` for an empty region)."""
+        if self._bbox is _BBOX_UNSET:
+            self._bbox = Rect.bounding(self._parts) if self._parts else None
+        return self._bbox  # type: ignore[return-value]
+
     def is_empty(self) -> bool:
         return not self._parts
 
@@ -112,20 +129,54 @@ class Region:
 
     def intersects(self, rect: Rect) -> bool:
         """Closed overlap: true when ``rect`` touches any part."""
-        return any(p.intersects(rect) for p in self._parts)
+        parts = self._parts
+        if not parts:
+            return False
+        if not self.bbox.intersects(rect):  # type: ignore[union-attr]
+            return False
+        if len(parts) == 1:
+            # The bounding box *is* the single part.
+            return True
+        return any(p.intersects(rect) for p in parts)
 
     def intersects_open(self, rect: Rect) -> bool:
         """Positive-measure overlap with any part."""
-        return any(p.intersects_open(rect) for p in self._parts)
+        parts = self._parts
+        if not parts:
+            return False
+        if not self.bbox.intersects_open(rect):  # type: ignore[union-attr]
+            return False
+        if len(parts) == 1:
+            return True
+        return any(p.intersects_open(rect) for p in parts)
 
     def contains_point(self, point: Sequence[float]) -> bool:
-        return any(p.contains_point(point) for p in self._parts)
+        parts = self._parts
+        if not parts:
+            return False
+        if not self.bbox.contains_point(point):  # type: ignore[union-attr]
+            return False
+        if len(parts) == 1:
+            return True
+        return any(p.contains_point(point) for p in parts)
 
     def covers(self, rect: Rect) -> bool:
         """True when ``rect`` lies entirely inside the region (up to
         measure zero: shared internal boundaries between parts count as
         covered)."""
-        leftover = subtract_rects(rect, self._parts)
+        parts = self._parts
+        if not parts:
+            return False
+        # A rect sticking out of the bounding box keeps a leftover piece
+        # with positive extent along the escape axis, so this is exact.
+        if not self.bbox.contains(rect):  # type: ignore[union-attr]
+            return False
+        if len(parts) == 1:
+            return True
+        for p in parts:
+            if p.contains(rect):
+                return True
+        leftover = subtract_rects(rect, parts)
         return not leftover
 
     # -- constructive --------------------------------------------------------

@@ -5,12 +5,31 @@ conditional/unconditional requests, short/commit durations, waits-for
 deadlock detection, and optional event tracing (used by the Table 3
 verification tests to assert exactly which locks each operation takes).
 
-Concurrency model: all state is guarded by one re-entrant mutex.  Waiting
-is delegated to a pluggable :class:`WaitStrategy` so the same manager
-serves three execution modes -- single-threaded (waits are errors),
-real threads (condition variables), and the discrete-event simulator
-(the strategy parks the simulated process and the scheduler resumes it
-when the grant happens).
+Concurrency model: the lock table is sharded by ``hash(resource)`` into
+``stripes`` independently-mutexed stripes, so requests against different
+granules never serialise on a common mutex.  Each stripe owns its
+resources' granted groups and wait queues, its share of the counters,
+plus a condition variable for threaded waits.  Transaction-level maps
+(short-duration holds, first-wait order) are only ever mutated by the
+owning transaction's thread via CPython-atomic dict operations, so the
+hot grant path takes exactly one mutex -- the stripe's.  The trace (off
+by default) is the one structure behind a separate registry lock, taken
+only after a stripe mutex, never before.
+
+Deadlock detection needs a global view: the waits-for graph is built
+from a snapshot taken while holding every stripe mutex in canonical
+(index) order.  A thread never requests that global snapshot while
+holding a single stripe mutex -- ``acquire`` enqueues, releases its
+stripe, runs detection, then re-locks the stripe to wait -- so stripe
+acquisition is always either "one stripe" or "all stripes in order" and
+the manager cannot deadlock against itself.  ``stripes=1`` degenerates
+to the classic single-mutex lock manager.
+
+Waiting is delegated to a pluggable :class:`WaitStrategy` so the same
+manager serves three execution modes -- single-threaded (waits are
+errors), real threads (condition variables), and the discrete-event
+simulator (the strategy parks the simulated process and the scheduler
+resumes it when the grant happens).
 """
 
 from __future__ import annotations
@@ -18,13 +37,17 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
-from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.lock.modes import LockDuration, LockMode, compatible, supremum
 from repro.lock.resource import ResourceId
 
 TxnId = Hashable
+
+#: default stripe count (overridable per manager)
+DEFAULT_STRIPES = 8
 
 
 class LockError(Exception):
@@ -73,6 +96,9 @@ class LockRequest:
     seq: int
     status: RequestStatus = RequestStatus.WAITING
     error: Optional[LockError] = None
+    #: the lock-table stripe this request waits in (set at enqueue time);
+    #: wait strategies block on this stripe's mutex/condition
+    stripe: Optional["_Stripe"] = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -139,6 +165,27 @@ class _LockHead:
         self.queue: List[LockRequest] = []
 
 
+class _Stripe:
+    """One shard of the lock table: its resources plus their mutex.
+
+    Counters (``waiters``, ``acq_counts``, ``wait_count``) are updated
+    under the stripe mutex; readers sum across stripes without locking,
+    which is sound under the GIL's sequentially consistent int/dict ops.
+    """
+
+    __slots__ = ("index", "mutex", "cond", "heads", "waiters", "acq_counts", "wait_count")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.mutex = threading.RLock()
+        self.cond = threading.Condition(self.mutex)
+        self.heads: Dict[ResourceId, _LockHead] = {}
+        #: requests currently sitting in this stripe's wait queues
+        self.waiters = 0
+        self.acq_counts: Dict[str, int] = {}
+        self.wait_count = 0
+
+
 class WaitStrategy:
     """How a transaction physically waits for a lock grant."""
 
@@ -166,18 +213,28 @@ class SingleThreadedWait(WaitStrategy):
 
 
 class ThreadedWait(WaitStrategy):
-    """Real blocking on the manager's condition variable."""
+    """Real blocking on the request's stripe condition variable.
+
+    Requests from managers without stripes (the predicate-lock baseline
+    duck-types this surface) fall back to the manager's single ``_cond``.
+    """
+
+    @staticmethod
+    def _cond_of(manager, request) -> threading.Condition:
+        stripe = getattr(request, "stripe", None)
+        return stripe.cond if stripe is not None else manager._cond
 
     def wait(self, manager: "LockManager", request: LockRequest, timeout: Optional[float]) -> None:
+        cond = self._cond_of(manager, request)
         deadline = None if timeout is None else manager._clock() + timeout
         while request.status is RequestStatus.WAITING:
             remaining = None if deadline is None else max(0.0, deadline - manager._clock())
-            if not manager._cond.wait(timeout=remaining):
+            if not cond.wait(timeout=remaining):
                 manager._timeout_request(request)
                 return
 
     def notify(self, manager: "LockManager", request: LockRequest) -> None:
-        manager._cond.notify_all()
+        self._cond_of(manager, request).notify_all()
 
 
 class LockManager:
@@ -188,22 +245,72 @@ class LockManager:
         wait_strategy: Optional[WaitStrategy] = None,
         victim_selector: Optional[Callable[[Tuple[TxnId, ...]], TxnId]] = None,
         trace: bool = False,
+        stripes: int = DEFAULT_STRIPES,
     ) -> None:
-        self._mutex = threading.RLock()
-        self._cond = threading.Condition(self._mutex)
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
         self.wait_strategy: WaitStrategy = wait_strategy or ThreadedWait()
-        self._heads: Dict[ResourceId, _LockHead] = {}
-        #: txn -> list of (resource, mode) short-duration holds, release order
+        self._stripes: List[_Stripe] = [_Stripe(i) for i in range(stripes)]
+        #: guards the trace only; lock order is always stripe mutex(es)
+        #: first, registry last
+        self._registry = threading.Lock()
+        #: txn -> list of (resource, mode) short-duration holds, release
+        #: order.  Each entry is only touched by its transaction's own
+        #: thread (dict-level ops are CPython-atomic), so no lock.
         self._short_holds: Dict[TxnId, List[Tuple[ResourceId, LockMode]]] = {}
+        #: txn -> first-wait sequence number, for default victim selection
         self._txn_order: Dict[TxnId, int] = {}
+        #: txn -> resources it ever touched (granted or queued), so
+        #: ``release_all`` visits only the stripes that can hold its state.
+        #: Same single-writer/GIL discipline as ``_short_holds``.
+        self._txn_resources: Dict[TxnId, Set[ResourceId]] = {}
         self._seq = itertools.count()
         self._victim_selector = victim_selector
         self.tracing = trace
         self.trace: List[LockEvent] = []
-        #: counters: (mode name) -> acquisitions; plus wait count
-        self.acquisition_counts: Dict[str, int] = {}
-        self.wait_count = 0
+        #: incremented under *all* stripe mutexes (deadlock resolution)
         self.deadlock_count = 0
+
+    @property
+    def acquisition_counts(self) -> Dict[str, int]:
+        """Granted acquisitions by mode name, summed across stripes."""
+        out: Dict[str, int] = {}
+        for stripe in self._stripes:
+            for mode, count in stripe.acq_counts.items():
+                out[mode] = out.get(mode, 0) + count
+        return out
+
+    @property
+    def wait_count(self) -> int:
+        """How many requests have had to wait, summed across stripes."""
+        return sum(stripe.wait_count for stripe in self._stripes)
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self._stripes)
+
+    def _stripe_of(self, resource: ResourceId) -> _Stripe:
+        stripes = self._stripes
+        if len(stripes) == 1:
+            return stripes[0]
+        return stripes[hash(resource) % len(stripes)]
+
+    @contextmanager
+    def _all_stripes(self) -> Iterator[None]:
+        """Hold every stripe mutex, acquired in canonical (index) order."""
+        for stripe in self._stripes:
+            stripe.mutex.acquire()
+        try:
+            yield
+        finally:
+            for stripe in reversed(self._stripes):
+                stripe.mutex.release()
+
+    def _iter_heads_locked(self) -> Iterator[Tuple[_Stripe, ResourceId, _LockHead]]:
+        """Every (stripe, resource, head); caller holds all stripe mutexes."""
+        for stripe in self._stripes:
+            for resource, head in list(stripe.heads.items()):
+                yield stripe, resource, head
 
     @staticmethod
     def _clock() -> float:
@@ -231,14 +338,14 @@ class LockManager:
         the wait strategy and may raise :class:`DeadlockError` /
         :class:`LockTimeout`.
         """
-        with self._mutex:
-            self._txn_order.setdefault(txn_id, next(self._seq))
-            head = self._heads.setdefault(resource, _LockHead())
+        stripe = self._stripe_of(resource)
+        with stripe.mutex:
+            head = stripe.heads.setdefault(resource, _LockHead())
             held = head.granted.get(txn_id)
             conversion = held is not None and not held.empty()
 
             if self._grantable(head, txn_id, mode, conversion):
-                self._grant(head, txn_id, resource, mode, duration)
+                self._grant(stripe, head, txn_id, resource, mode, duration)
                 self._record(txn_id, resource, mode, duration, granted=True, waited=False)
                 return True
 
@@ -246,6 +353,11 @@ class LockManager:
                 self._record(txn_id, resource, mode, duration, granted=False, waited=False)
                 return False
 
+            # Victim selection needs a begin-ish order for every *waiting*
+            # transaction; record it before the request becomes visible.
+            if txn_id not in self._txn_order:
+                self._txn_order.setdefault(txn_id, next(self._seq))
+            self._txn_resources.setdefault(txn_id, set()).add(resource)
             request = LockRequest(
                 txn_id=txn_id,
                 resource=resource,
@@ -253,16 +365,25 @@ class LockManager:
                 duration=duration,
                 conversion=conversion,
                 seq=next(self._seq),
+                stripe=stripe,
             )
             self._enqueue(head, request)
-            self.wait_count += 1
+            stripe.wait_count += 1
+        # Deadlock detection takes a global snapshot under *all* stripe
+        # mutexes; it must run with our single stripe mutex released so
+        # canonical acquisition order is preserved.  A cycle needs at
+        # least two waiting requests (ours included), so the common
+        # lone-waiter case skips the sweep entirely; any later waiter
+        # that completes a cycle runs its own detection and sees us.
+        if sum(s.waiters for s in self._stripes) >= 2:
             self._resolve_deadlocks()
+        with stripe.mutex:
             if request.status is RequestStatus.WAITING:
                 try:
                     self.wait_strategy.wait(self, request, timeout)
                 except WouldBlock:
                     if request in head.queue:
-                        head.queue.remove(request)
+                        self._dequeue(head, request)
                     raise
 
             if request.status is RequestStatus.GRANTED:
@@ -283,8 +404,9 @@ class LockManager:
         duration: LockDuration,
     ) -> None:
         """Release one previously granted (mode, duration) unit."""
-        with self._mutex:
-            head = self._heads.get(resource)
+        stripe = self._stripe_of(resource)
+        with stripe.mutex:
+            head = stripe.heads.get(resource)
             held = head.granted.get(txn_id) if head else None
             if held is None:
                 raise LockError(f"{txn_id!r} holds nothing on {resource!r}")
@@ -297,7 +419,7 @@ class LockManager:
                     pass
             if held.empty():
                 del head.granted[txn_id]
-            self._process_queue(head)
+            self._process_queue(stripe, head)
 
     def end_operation(self, txn_id: TxnId) -> None:
         """Release every short-duration lock the transaction holds.
@@ -306,42 +428,56 @@ class LockManager:
         modification; the protocol layer calls this in a ``finally`` as
         each Insert/Delete/Scan operation completes.
         """
-        with self._mutex:
-            shorts = self._short_holds.pop(txn_id, [])
-            touched: Set[ResourceId] = set()
-            for resource, _mode in shorts:
-                head = self._heads.get(resource)
-                if head is None:
-                    continue
-                held = head.granted.get(txn_id)
-                if held is None:
-                    continue
-                held.drop_duration(LockDuration.SHORT)
-                if held.empty():
-                    del head.granted[txn_id]
-                touched.add(resource)
-            for resource in touched:
-                self._process_queue(self._heads[resource])
+        shorts = self._short_holds.pop(txn_id, [])
+        by_stripe: Dict[int, Set[ResourceId]] = {}
+        for resource, _mode in shorts:
+            by_stripe.setdefault(self._stripe_of(resource).index, set()).add(resource)
+        for stripe_idx in sorted(by_stripe):
+            stripe = self._stripes[stripe_idx]
+            with stripe.mutex:
+                touched: Set[ResourceId] = set()
+                for resource in by_stripe[stripe_idx]:
+                    head = stripe.heads.get(resource)
+                    if head is None:
+                        continue
+                    held = head.granted.get(txn_id)
+                    if held is None:
+                        continue
+                    held.drop_duration(LockDuration.SHORT)
+                    if held.empty():
+                        del head.granted[txn_id]
+                    touched.add(resource)
+                for resource in touched:
+                    self._process_queue(stripe, stripe.heads[resource])
 
     def release_all(self, txn_id: TxnId) -> None:
         """Release everything at commit/rollback; cancels pending waits."""
-        with self._mutex:
-            self._short_holds.pop(txn_id, None)
-            for resource, head in list(self._heads.items()):
-                changed = False
-                if txn_id in head.granted:
-                    del head.granted[txn_id]
-                    changed = True
-                for request in list(head.queue):
-                    if request.txn_id == txn_id:
-                        head.queue.remove(request)
-                        request.status = RequestStatus.ABORTED
-                        request.error = LockError(f"transaction {txn_id!r} terminated")
-                        self.wait_strategy.notify(self, request)
+        self._short_holds.pop(txn_id, None)
+        touched = self._txn_resources.pop(txn_id, ())
+        by_stripe: Dict[int, List[ResourceId]] = {}
+        for resource in touched:
+            by_stripe.setdefault(self._stripe_of(resource).index, []).append(resource)
+        for stripe_idx in sorted(by_stripe):
+            stripe = self._stripes[stripe_idx]
+            with stripe.mutex:
+                for resource in by_stripe[stripe_idx]:
+                    head = stripe.heads.get(resource)
+                    if head is None:
+                        continue
+                    changed = False
+                    if txn_id in head.granted:
+                        del head.granted[txn_id]
                         changed = True
-                if changed:
-                    self._process_queue(head)
-            self._txn_order.pop(txn_id, None)
+                    for request in list(head.queue):
+                        if request.txn_id == txn_id:
+                            self._dequeue(head, request)
+                            request.status = RequestStatus.ABORTED
+                            request.error = LockError(f"transaction {txn_id!r} terminated")
+                            self.wait_strategy.notify(self, request)
+                            changed = True
+                    if changed:
+                        self._process_queue(stripe, head)
+        self._txn_order.pop(txn_id, None)
 
     # ------------------------------------------------------------------
     # inspection
@@ -349,22 +485,25 @@ class LockManager:
 
     def held_mode(self, txn_id: TxnId, resource: ResourceId) -> Optional[LockMode]:
         """The transaction's effective mode on ``resource`` (None if none)."""
-        with self._mutex:
-            head = self._heads.get(resource)
+        stripe = self._stripe_of(resource)
+        with stripe.mutex:
+            head = stripe.heads.get(resource)
             held = head.granted.get(txn_id) if head else None
             return held.effective() if held else None
 
     def held_commit_mode(self, txn_id: TxnId, resource: ResourceId) -> Optional[LockMode]:
         """Effective mode counting only commit-duration holds."""
-        with self._mutex:
-            head = self._heads.get(resource)
+        stripe = self._stripe_of(resource)
+        with stripe.mutex:
+            head = stripe.heads.get(resource)
             held = head.granted.get(txn_id) if head else None
             return held.effective_for(LockDuration.COMMIT) if held else None
 
     def holders(self, resource: ResourceId) -> Dict[TxnId, LockMode]:
         """Current holders and their effective modes."""
-        with self._mutex:
-            head = self._heads.get(resource)
+        stripe = self._stripe_of(resource)
+        with stripe.mutex:
+            head = stripe.heads.get(resource)
             if head is None:
                 return {}
             return {
@@ -383,8 +522,9 @@ class LockManager:
         holds a conflicting (S/SIX) lock there.
         """
         skip = set(ignore)
-        with self._mutex:
-            head = self._heads.get(resource)
+        stripe = self._stripe_of(resource)
+        with stripe.mutex:
+            head = stripe.heads.get(resource)
             if head is None:
                 return False
             for txn, held in head.granted.items():
@@ -397,21 +537,25 @@ class LockManager:
 
     def locks_of(self, txn_id: TxnId) -> Dict[ResourceId, Dict[Tuple[LockMode, LockDuration], int]]:
         """Everything the transaction currently holds (for tests/traces)."""
-        with self._mutex:
-            out: Dict[ResourceId, Dict[Tuple[LockMode, LockDuration], int]] = {}
-            for resource, head in self._heads.items():
-                held = head.granted.get(txn_id)
-                if held and not held.empty():
-                    out[resource] = dict(held.counts)
-            return out
+        out: Dict[ResourceId, Dict[Tuple[LockMode, LockDuration], int]] = {}
+        for stripe in self._stripes:
+            with stripe.mutex:
+                for resource, head in stripe.heads.items():
+                    held = head.granted.get(txn_id)
+                    if held and not held.empty():
+                        out[resource] = dict(held.counts)
+        return out
 
     def waiting_requests(self) -> List[LockRequest]:
         """Every request currently queued, across all resources."""
-        with self._mutex:
-            return [r for head in self._heads.values() for r in head.queue]
+        out: List[LockRequest] = []
+        for stripe in self._stripes:
+            with stripe.mutex:
+                out.extend(r for head in stripe.heads.values() for r in head.queue)
+        return out
 
     # ------------------------------------------------------------------
-    # internals (mutex held)
+    # internals (stripe mutex held)
     # ------------------------------------------------------------------
 
     def _grantable(self, head: _LockHead, txn_id: TxnId, mode: LockMode, conversion: bool) -> bool:
@@ -431,6 +575,7 @@ class LockManager:
 
     def _grant(
         self,
+        stripe: _Stripe,
         head: _LockHead,
         txn_id: TxnId,
         resource: ResourceId,
@@ -441,7 +586,9 @@ class LockManager:
         held.add(mode, duration)
         if duration is LockDuration.SHORT:
             self._short_holds.setdefault(txn_id, []).append((resource, mode))
-        self.acquisition_counts[mode.value] = self.acquisition_counts.get(mode.value, 0) + 1
+        self._txn_resources.setdefault(txn_id, set()).add(resource)
+        counts = stripe.acq_counts
+        counts[mode.value] = counts.get(mode.value, 0) + 1
 
     def _enqueue(self, head: _LockHead, request: LockRequest) -> None:
         if request.conversion:
@@ -452,8 +599,15 @@ class LockManager:
             head.queue.insert(idx, request)
         else:
             head.queue.append(request)
+        request.stripe.waiters += 1  # type: ignore[union-attr]
 
-    def _process_queue(self, head: _LockHead) -> None:
+    @staticmethod
+    def _dequeue(head: _LockHead, request: LockRequest) -> None:
+        head.queue.remove(request)
+        if request.stripe is not None:
+            request.stripe.waiters -= 1
+
+    def _process_queue(self, stripe: _Stripe, head: _LockHead) -> None:
         """Grant newly compatible waiters, conversions first then FIFO."""
         made_progress = True
         while made_progress:
@@ -470,8 +624,10 @@ class LockManager:
                         ok = False
                         break
                 if ok:
-                    head.queue.remove(request)
-                    self._grant(head, request.txn_id, request.resource, request.mode, request.duration)
+                    self._dequeue(head, request)
+                    self._grant(
+                        stripe, head, request.txn_id, request.resource, request.mode, request.duration
+                    )
                     request.status = RequestStatus.GRANTED
                     self.wait_strategy.notify(self, request)
                     made_progress = True
@@ -485,9 +641,18 @@ class LockManager:
     # ------------------------------------------------------------------
 
     def build_waits_for(self) -> Dict[TxnId, Set[TxnId]]:
-        """The waits-for graph implied by current queues (mutex held)."""
+        """The waits-for graph from a global snapshot of all stripes.
+
+        Stripe mutexes are taken in canonical order (re-entrantly when
+        the caller already holds them all, as deadlock resolution does).
+        """
+        with self._all_stripes():
+            return self._waits_for_locked()
+
+    def _waits_for_locked(self) -> Dict[TxnId, Set[TxnId]]:
+        """The waits-for graph implied by current queues (all stripes held)."""
         graph: Dict[TxnId, Set[TxnId]] = {}
-        for head in self._heads.values():
+        for _stripe, _resource, head in self._iter_heads_locked():
             for idx, request in enumerate(head.queue):
                 blockers: Set[TxnId] = set()
                 for other, held in head.granted.items():
@@ -507,38 +672,46 @@ class LockManager:
         return graph
 
     def _resolve_deadlocks(self) -> None:
-        """Abort victims until the waits-for graph is acyclic."""
+        """Abort victims until the waits-for graph is acyclic.
+
+        Must be called with *no* stripe mutex held: the global snapshot
+        acquires every stripe in canonical order.
+        """
         while True:
-            graph = self.build_waits_for()
-            cycle = _find_cycle(graph)
-            if cycle is None:
-                return
-            self.deadlock_count += 1
-            if self._victim_selector is not None:
-                victim = self._victim_selector(tuple(cycle))
-            else:
-                # Default: abort the youngest participant (largest begin seq).
-                victim = max(cycle, key=lambda t: self._txn_order.get(t, -1))
-            self._abort_waiter(victim, tuple(cycle))
+            with self._all_stripes():
+                graph = self._waits_for_locked()
+                cycle = _find_cycle(graph)
+                if cycle is None:
+                    return
+                self.deadlock_count += 1  # guarded by holding all stripes
+                order = dict(self._txn_order)  # PyDict_Copy is GIL-atomic
+                if self._victim_selector is not None:
+                    victim = self._victim_selector(tuple(cycle))
+                else:
+                    # Default: abort the youngest participant (largest begin seq).
+                    victim = max(cycle, key=lambda t: order.get(t, -1))
+                self._abort_waiter(victim, tuple(cycle))
 
     def _abort_waiter(self, victim: TxnId, cycle: Tuple[TxnId, ...]) -> None:
+        """Cancel the victim's waits (all stripe mutexes held)."""
         error = DeadlockError(victim, cycle)
-        for head in self._heads.values():
+        for _stripe, _resource, head in self._iter_heads_locked():
             for request in list(head.queue):
                 if request.txn_id == victim:
-                    head.queue.remove(request)
+                    self._dequeue(head, request)
                     request.status = RequestStatus.ABORTED
                     request.error = error
                     self.wait_strategy.notify(self, request)
         # Whatever queue the victim vacated may now be grantable.
-        for head in self._heads.values():
-            self._process_queue(head)
+        for stripe, _resource, head in self._iter_heads_locked():
+            self._process_queue(stripe, head)
 
     def _timeout_request(self, request: LockRequest) -> None:
-        head = self._heads.get(request.resource)
+        stripe = request.stripe or self._stripe_of(request.resource)
+        head = stripe.heads.get(request.resource)
         if head is not None and request in head.queue:
-            head.queue.remove(request)
-            self._process_queue(head)
+            self._dequeue(head, request)
+            self._process_queue(stripe, head)
         if request.status is RequestStatus.WAITING:
             request.status = RequestStatus.DENIED
 
@@ -556,7 +729,8 @@ class LockManager:
         waited: bool,
     ) -> None:
         if self.tracing:
-            self.trace.append(LockEvent(txn_id, resource, mode, duration, granted, waited))
+            with self._registry:
+                self.trace.append(LockEvent(txn_id, resource, mode, duration, granted, waited))
 
     def clear_trace(self) -> None:
         """Drop recorded lock events (tracing stays on)."""

@@ -30,12 +30,28 @@ class Namespace(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ResourceId:
-    """A purely physical lock name: ``(namespace, key)``."""
+    """A purely physical lock name: ``(namespace, key)``.
+
+    Hashing is on the hot path (the striped lock table shards by
+    ``hash(resource)`` and every lock-table dict is keyed by it), so the
+    hash is computed once in ``__post_init__`` and memoised.
+    """
 
     namespace: Namespace
     key: Hashable
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.namespace, self.key)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ResourceId):
+            return self.namespace is other.namespace and self.key == other.key
+        return NotImplemented
 
     @classmethod
     def leaf(cls, page_id: int) -> "ResourceId":

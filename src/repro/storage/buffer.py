@@ -42,8 +42,13 @@ class BufferPool:
             self.stats.record_read(hit=False, level=level)
             return page
         pid = page.page_id
-        if pid in self._frames:
+        try:
+            # Single dict operation for the hit path (vs. a separate
+            # membership probe followed by move_to_end).
             self._frames.move_to_end(pid)
+        except KeyError:
+            pass
+        else:
             self.hits += 1
             self.stats.record_read(hit=True, level=level)
             return page

@@ -11,6 +11,12 @@ S, X = LockMode.S, LockMode.X
 R1, R2, R3 = ResourceId.leaf(1), ResourceId.leaf(2), ResourceId.leaf(3)
 
 
+@pytest.fixture(params=[1, 8], ids=["stripes1", "stripes8"])
+def stripes(request):
+    """Deadlock detection must work with the table sharded or not."""
+    return request.param
+
+
 def run_all(workers, timeout=10.0):
     threads = [threading.Thread(target=w) for w in workers]
     for t in threads:
@@ -21,8 +27,8 @@ def run_all(workers, timeout=10.0):
 
 
 class TestTwoPartyDeadlock:
-    def test_cycle_broken_one_survives(self):
-        lm = LockManager()
+    def test_cycle_broken_one_survives(self, stripes):
+        lm = LockManager(stripes=stripes)
         lm.acquire("a", R1, X)
         lm.acquire("b", R2, X)
         outcome = {}
@@ -54,8 +60,8 @@ class TestTwoPartyDeadlock:
         assert sorted(outcome.values()) == ["ok", "victim"]
         assert lm.deadlock_count >= 1
 
-    def test_victim_is_youngest_by_default(self):
-        lm = LockManager()
+    def test_victim_is_youngest_by_default(self, stripes):
+        lm = LockManager(stripes=stripes)
         lm.acquire("old", R1, X)  # first seen -> older
         lm.acquire("young", R2, X)
         outcome = {}
@@ -82,7 +88,7 @@ class TestTwoPartyDeadlock:
         run_all([old_body, young_body])
         assert outcome == {"old": "ok", "young": "victim"}
 
-    def test_custom_victim_selector(self):
+    def test_custom_victim_selector(self, stripes):
         chosen = []
 
         def pick_first_alphabetical(cycle):
@@ -90,7 +96,7 @@ class TestTwoPartyDeadlock:
             chosen.append(victim)
             return victim
 
-        lm = LockManager(victim_selector=pick_first_alphabetical)
+        lm = LockManager(victim_selector=pick_first_alphabetical, stripes=stripes)
         lm.acquire("a", R1, X)
         lm.acquire("b", R2, X)
         outcome = {}
@@ -120,8 +126,8 @@ class TestTwoPartyDeadlock:
 
 
 class TestThreePartyDeadlock:
-    def test_three_cycle_resolved(self):
-        lm = LockManager()
+    def test_three_cycle_resolved(self, stripes):
+        lm = LockManager(stripes=stripes)
         lm.acquire("a", R1, X)
         lm.acquire("b", R2, X)
         lm.acquire("c", R3, X)
@@ -146,8 +152,8 @@ class TestThreePartyDeadlock:
 
 
 class TestWaitsForGraph:
-    def test_graph_reflects_blockers(self):
-        lm = LockManager()
+    def test_graph_reflects_blockers(self, stripes):
+        lm = LockManager(stripes=stripes)
         lm.acquire("holder", R1, X)
         done = threading.Event()
 
@@ -172,12 +178,54 @@ class TestWaitsForGraph:
         assert done.wait(timeout=5)
         t.join(timeout=5)
 
-    def test_timeout_raises_and_cleans_queue(self):
+    def test_timeout_raises_and_cleans_queue(self, stripes):
         from repro.lock import LockTimeout
 
-        lm = LockManager()
+        lm = LockManager(stripes=stripes)
         lm.acquire("holder", R1, X)
         with pytest.raises(LockTimeout):
             lm.acquire("waiter", R1, S, timeout=0.1)
         assert lm.waiting_requests() == []
         lm.release_all("holder")
+
+
+class TestCrossStripeDeadlock:
+    def test_cycle_spanning_distinct_stripes(self):
+        """A deadlock whose two resources provably live in *different*
+        stripes -- the waits-for graph must still see across shards."""
+        lm = LockManager(stripes=8)
+        first = ResourceId.leaf(0)
+        home = lm._stripe_of(first).index
+        other = next(
+            ResourceId.leaf(pid)
+            for pid in range(1, 1000)
+            if lm._stripe_of(ResourceId.leaf(pid)).index != home
+        )
+        assert lm._stripe_of(first).index != lm._stripe_of(other).index
+
+        lm.acquire("a", first, X)
+        lm.acquire("b", other, X)
+        outcome = {}
+
+        def a_body():
+            try:
+                lm.acquire("a", other, X)
+                outcome["a"] = "ok"
+            except DeadlockError:
+                outcome["a"] = "victim"
+            finally:
+                lm.release_all("a")
+
+        def b_body():
+            time.sleep(0.15)
+            try:
+                lm.acquire("b", first, X)
+                outcome["b"] = "ok"
+            except DeadlockError:
+                outcome["b"] = "victim"
+            finally:
+                lm.release_all("b")
+
+        run_all([a_body, b_body])
+        assert sorted(outcome.values()) == ["ok", "victim"]
+        assert lm.deadlock_count >= 1

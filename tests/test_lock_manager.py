@@ -19,9 +19,16 @@ R2 = ResourceId.leaf(2)
 OBJ = ResourceId.obj("o")
 
 
+@pytest.fixture(params=[1, 8], ids=["stripes1", "stripes8"])
+def stripes(request):
+    """Every test runs against both the single-stripe (legacy-equivalent)
+    and the default striped lock table."""
+    return request.param
+
+
 @pytest.fixture
-def lm():
-    return LockManager(wait_strategy=SingleThreadedWait())
+def lm(stripes):
+    return LockManager(wait_strategy=SingleThreadedWait(), stripes=stripes)
 
 
 class TestGrantDeny:
@@ -134,8 +141,11 @@ class TestIntrospection:
         assert not lm.has_conflicting_holder(R1, IX, ignore=("reader",))
         assert not lm.has_conflicting_holder(R2, X)
 
-    def test_trace_records_grants_and_denials(self):
-        lm = LockManager(wait_strategy=SingleThreadedWait(), trace=True)
+    def test_stripe_count(self, lm, stripes):
+        assert lm.stripe_count == stripes
+
+    def test_trace_records_grants_and_denials(self, stripes):
+        lm = LockManager(wait_strategy=SingleThreadedWait(), trace=True, stripes=stripes)
         lm.acquire("t1", R1, X)
         lm.acquire("t2", R1, S, conditional=True)
         assert len(lm.trace) == 2
@@ -150,11 +160,11 @@ class TestIntrospection:
         assert lm.total_acquisitions() == 3
         assert lm.acquisition_counts == {"S": 1, "IX": 1, "X": 1}
 
-    def test_fifo_fairness_new_request_waits_behind_queue(self):
+    def test_fifo_fairness_new_request_waits_behind_queue(self, stripes):
         """A grantable new request must not overtake earlier waiters."""
         import threading
 
-        lm = LockManager()
+        lm = LockManager(stripes=stripes)
         lm.acquire("t1", R1, S)
         order = []
 
