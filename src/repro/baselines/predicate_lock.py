@@ -50,6 +50,8 @@ class PredicateRequest:
     conversion: bool = False
     status: RequestStatus = RequestStatus.WAITING
     error: Optional[LockError] = None
+    #: monotonic token set by a parked wait strategy while registered
+    wait_token: Optional[int] = None
 
     @property
     def resource(self) -> str:  # for error messages

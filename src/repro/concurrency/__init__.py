@@ -20,8 +20,14 @@ The package also provides the correctness oracles:
   the predicate-aware conflict graph and checks it is acyclic.
 """
 
-from repro.concurrency.simulator import Simulator, SimProcess, SimDeadlock, CostModel
-from repro.concurrency.waits import SimulatedWait
+from repro.concurrency.simulator import (
+    Simulator,
+    SimProcess,
+    SimDeadlock,
+    CostModel,
+    ProcessCancelled,
+)
+from repro.concurrency.waits import SimulatedWait, SpuriousWakeup
 from repro.concurrency.history import History, Op, OpKind
 from repro.concurrency.checker import (
     PhantomReport,
@@ -35,7 +41,9 @@ __all__ = [
     "SimProcess",
     "SimDeadlock",
     "CostModel",
+    "ProcessCancelled",
     "SimulatedWait",
+    "SpuriousWakeup",
     "History",
     "Op",
     "OpKind",

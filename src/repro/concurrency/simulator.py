@@ -38,6 +38,18 @@ class SimDeadlock(RuntimeError):
     """
 
 
+class ProcessCancelled(Exception):
+    """Raised inside a parked process that was cancelled via
+    :meth:`Simulator.cancel`.
+
+    The stress harness uses this for forced-abort fault injection: the
+    exception surfaces from :meth:`Simulator.block` on the victim's own
+    thread, so it unwinds through whatever wait the process was parked in
+    (releasing mutexes on the way) exactly like a real asynchronous abort
+    would have to.
+    """
+
+
 @dataclass
 class CostModel:
     """Simulated durations, in abstract time units.
@@ -71,6 +83,7 @@ class SimProcess:
         "error",
         "sim",
         "_step_cost",
+        "cancelled",
     )
 
     READY = "ready"
@@ -87,6 +100,9 @@ class SimProcess:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._step_cost = 0.0
+        #: set by :meth:`Simulator.cancel` while the process is parked;
+        #: consumed (and raised as :class:`ProcessCancelled`) on resume
+        self.cancelled = False
         self.thread = threading.Thread(target=self._run, name=f"sim-{name}", daemon=True)
 
     def _run(self) -> None:
@@ -108,7 +124,7 @@ class SimProcess:
 class Simulator:
     """See module docstring."""
 
-    def __init__(self, seed: int = 0, jitter: float = 0.0) -> None:
+    def __init__(self, seed: int = 0, jitter: float = 0.0, record_schedule: bool = False) -> None:
         self.clock: float = 0.0
         self.rng = random.Random(seed)
         #: multiplicative cost noise in [0, jitter); 0 disables
@@ -121,6 +137,10 @@ class Simulator:
         self.processes: List[SimProcess] = []
         self._running: Optional[SimProcess] = None
         self.steps = 0
+        #: when enabled, every dispatch appends ``(clock, process name)`` --
+        #: the schedule trace the stress harness embeds in repro artifacts
+        self.record_schedule = record_schedule
+        self.schedule: List[tuple] = []
 
     # -- process management ---------------------------------------------
 
@@ -176,6 +196,8 @@ class Simulator:
     hang_timeout: float = 60.0
 
     def _dispatch(self, proc: SimProcess) -> None:
+        if self.record_schedule:
+            self.schedule.append((self.clock, proc.name))
         self._running = proc
         proc.state = SimProcess.RUNNING
         self._control.clear()
@@ -203,13 +225,20 @@ class Simulator:
         proc.state = SimProcess.RUNNING
 
     def block(self) -> None:
-        """Yield the baton indefinitely; somebody must :meth:`wake` us."""
+        """Yield the baton indefinitely; somebody must :meth:`wake` us.
+
+        Raises :class:`ProcessCancelled` on resume when the process was
+        cancelled while parked (fault injection / forced abort).
+        """
         proc = self.current()
         proc.state = SimProcess.BLOCKED
         self._control.set()
         proc.event.wait()
         proc.event.clear()
         proc.state = SimProcess.RUNNING
+        if proc.cancelled:
+            proc.cancelled = False
+            raise ProcessCancelled(f"process {proc.name!r} cancelled while parked")
 
     def wake(self, proc: SimProcess, delay: float = 0.0) -> None:
         """Make a blocked process runnable again at ``clock + delay``.
@@ -222,6 +251,21 @@ class Simulator:
         if proc.state == SimProcess.BLOCKED:
             proc.state = SimProcess.READY
             self._schedule(proc, self.clock + delay)
+
+    def cancel(self, proc: SimProcess, delay: float = 0.0) -> bool:
+        """Cancel a *parked* process: it resumes at ``clock + delay`` with
+        :class:`ProcessCancelled` raised out of its :meth:`block` call.
+
+        Only BLOCKED processes can be cancelled -- a running or merely
+        rescheduled (READY) process has nothing to unwind from.  Returns
+        whether the cancellation was delivered.
+        """
+        if proc.state != SimProcess.BLOCKED:
+            return False
+        proc.cancelled = True
+        proc.state = SimProcess.READY
+        self._schedule(proc, self.clock + delay)
+        return True
 
     # -- results -----------------------------------------------------------
 

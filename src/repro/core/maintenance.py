@@ -26,6 +26,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class DeferredDelete:
     oid: ObjectId
     rect: Rect
+    #: how many maintenance passes have already failed on this entry
+    #: (deadlock aborts); drives the requeue backoff ordering
+    attempts: int = 0
 
 
 class DeferredDeleteQueue:
@@ -35,6 +38,7 @@ class DeferredDeleteQueue:
         self._mutex = threading.Lock()
         self._pending: Deque[DeferredDelete] = deque()
         self.processed = 0
+        self.requeued = 0
 
     def enqueue(self, oid: ObjectId, rect: Rect) -> None:
         with self._mutex:
@@ -54,20 +58,36 @@ class DeferredDeleteQueue:
         Each removal runs as its own system transaction so its short locks
         (and the X lock on the vanishing object) are scoped tightly;
         a removal that deadlocks is re-queued rather than lost.
+
+        ``limit`` bounds *attempts*, not successes: a poisoned entry that
+        keeps deadlocking consumes its share of the pass budget instead of
+        letting the pass churn through the whole queue looking for wins.
+        Failed entries are re-queued behind the surviving fresh work and
+        ordered by failure count (backoff ordering), so repeat offenders
+        drift to the back instead of being retried head-of-line against
+        the same conflicting transaction.  The ``processed`` counter is
+        only ever updated under the queue mutex, keeping it exact when a
+        maintenance pass runs concurrently with readers of the counter.
         """
         done = 0
+        attempts = 0
         requeue: List[DeferredDelete] = []
-        while limit is None or done < limit:
+        while limit is None or attempts < limit:
             item = self.pop()
             if item is None:
                 break
+            attempts += 1
             try:
                 index.run_deferred_delete(item.oid, item.rect)
             except Exception:
-                requeue.append(item)
+                requeue.append(DeferredDelete(item.oid, item.rect, item.attempts + 1))
             else:
                 done += 1
-                self.processed += 1
-        with self._mutex:
-            self._pending.extend(requeue)
+                with self._mutex:
+                    self.processed += 1
+        if requeue:
+            requeue.sort(key=lambda item: item.attempts)
+            with self._mutex:
+                self._pending.extend(requeue)
+                self.requeued += len(requeue)
         return done

@@ -64,6 +64,15 @@ class OpContext:
 
         A commit-duration lock subsumes a short-duration want of a covered
         mode; short never subsumes commit.
+
+        ``acquired`` must reflect locks *actually still held*: a SHORT
+        entry whose lock was released out from under the operation (an
+        intervening ``end_operation`` on this transaction -- e.g. a
+        deadlock-retry wrapper reusing the context) must not subsume a
+        later SHORT want, or the operation proceeds unfenced.  The
+        protocol prunes dead SHORT entries on every restart and at
+        ``end_operation`` (see :meth:`prune_dead_shorts` /
+        :meth:`drop_short_acquired`) so this scan never double-counts.
         """
         for held_resource, held_mode, held_duration in self.acquired:
             if held_resource != resource:
@@ -74,6 +83,33 @@ class OpContext:
                 continue
             return True
         return False
+
+    def drop_short_acquired(self) -> None:
+        """Forget every SHORT entry: called when the operation's short
+        locks are released, so a reused context cannot double-count them."""
+        self.acquired = {w for w in self.acquired if w[2] is not SHORT}
+
+    def prune_dead_shorts(self, lm: LockManager) -> None:
+        """Drop SHORT entries no longer backed by a held lock.
+
+        Restart-path audit: within one operation loop the protocol never
+        releases a short lock early, but the context can outlive a release
+        it did not perform (deadlock handling runs ``end_operation`` before
+        the abort decision; harness fault injection unwinds waits the same
+        way).  After such a release, ``acquired`` still lists the short
+        lock; any later iteration consulting :meth:`holds_covering` would
+        then skip re-acquiring the fence it no longer holds.  Re-validating
+        against the lock manager at every restart keeps the bookkeeping
+        honest.
+        """
+        shorts = [w for w in self.acquired if w[2] is SHORT]
+        if not shorts:
+            return
+        held = lm.locks_of(self.txn_id)
+        for want in shorts:
+            resource, mode, _duration = want
+            if held.get(resource, {}).get((mode, SHORT), 0) <= 0:
+                self.acquired.discard(want)
 
 
 class GranuleLockProtocol:
@@ -91,6 +127,13 @@ class GranuleLockProtocol:
         self.policy = policy
         #: physical-consistency latch (see module docstring)
         self.latch = threading.RLock()
+        #: stress-harness instrumentation: called with ``(tag, ctx)`` at
+        #: every yield point -- operation loop heads, restarts, and the
+        #: post-lock phase.  Every call site is OUTSIDE the latch (and all
+        #: lock-manager mutexes), so the hook may context-switch the
+        #: simulator or raise an injected fault without deadlocking the
+        #: protocol.  ``None`` (production) costs one attribute test.
+        self.yield_hook: Optional[Callable[[str, OpContext], None]] = None
 
     @property
     def geometry_cache(self):
@@ -153,6 +196,27 @@ class GranuleLockProtocol:
     def end_operation(self, ctx: OpContext) -> None:
         """Release the operation's short-duration locks."""
         self.lm.end_operation(ctx.txn_id)
+        # Keep the context's bookkeeping in step with the release: a
+        # context reused after this call (retry wrappers) must not treat
+        # the released short locks as still held.
+        ctx.drop_short_acquired()
+
+    def _restart(self, ctx: OpContext) -> None:
+        """One operation restart: re-validate bookkeeping, then yield.
+
+        Runs outside the latch.  Pruning here is the restart-path audit
+        for :meth:`OpContext.holds_covering`: any short lock released out
+        from under the operation (intervening ``end_operation`` during
+        deadlock handling or fault injection) leaves ``acquired`` before
+        the next iteration consults it.
+        """
+        ctx.restarts += 1
+        ctx.prune_dead_shorts(self.lm)
+        self._yield("restart", ctx)
+
+    def _yield(self, tag: str, ctx: OpContext) -> None:
+        if self.yield_hook is not None:
+            self.yield_hook(tag, ctx)
 
     # ------------------------------------------------------------------
     # ReadScan / the shared scan-locking loop (Table 3: S on all
@@ -162,13 +226,14 @@ class GranuleLockProtocol:
     def lock_scan(self, ctx: OpContext, predicate: Rect) -> List[GranuleRef]:
         """Commit-duration S locks on every granule overlapping the predicate."""
         while True:
+            self._yield("scan", ctx)
             with self.latch:
                 refs = self.granules.overlapping(predicate)
                 wants: List[Want] = [(ref.resource, S, COMMIT) for ref in refs]
                 blocked = self._acquire_conditional(ctx, wants)
                 if blocked is None:
                     return refs
-            ctx.restarts += 1
+            self._restart(ctx)
             self._wait_for(ctx, blocked)
 
     def execute_scan(self, ctx: OpContext, predicate: Rect) -> List[LeafEntry]:
@@ -184,6 +249,7 @@ class GranuleLockProtocol:
 
     def lock_update_scan(self, ctx: OpContext, predicate: Rect) -> List[LeafEntry]:
         while True:
+            self._yield("update_scan", ctx)
             with self.latch:
                 cover, rest = self.granules.covering(predicate)
                 wants: List[Want] = [(ref.resource, SIX, COMMIT) for ref in cover]
@@ -197,7 +263,7 @@ class GranuleLockProtocol:
                     blocked = self._acquire_conditional(ctx, object_wants)
                     if blocked is None:
                         return matches
-            ctx.restarts += 1
+            self._restart(ctx)
             self._wait_for(ctx, blocked)
 
     # ------------------------------------------------------------------
@@ -211,6 +277,7 @@ class GranuleLockProtocol:
         stability guarantee -- exactly the paper's contract.
         """
         while True:
+            self._yield("read_single", ctx)
             with self.latch:
                 located = self.tree.find_entry(oid, rect)
                 if located is None:
@@ -222,12 +289,13 @@ class GranuleLockProtocol:
                     # The S lock excludes writers, so the tombstone state
                     # we see now is settled.
                     return None if entry.tombstone else entry
-            ctx.restarts += 1
+            self._restart(ctx)
             self._wait_for(ctx, blocked)
 
     def lock_update_single(self, ctx: OpContext, oid: ObjectId, rect: Rect) -> Optional[LeafEntry]:
         """Table 3: IX on the granule containing the object, X on the object."""
         while True:
+            self._yield("update_single", ctx)
             with self.latch:
                 located = self.tree.find_entry(oid, rect)
                 if located is None:
@@ -240,7 +308,7 @@ class GranuleLockProtocol:
                 blocked = self._acquire_conditional(ctx, wants)
                 if blocked is None:
                     return None if entry.tombstone else entry
-            ctx.restarts += 1
+            self._restart(ctx)
             self._wait_for(ctx, blocked)
 
     # ------------------------------------------------------------------
@@ -266,6 +334,7 @@ class GranuleLockProtocol:
         modification and the post-split locks still rolls the object back.
         """
         while True:
+            self._yield("insert", ctx)
             with self.latch:
                 located = self.tree.find_entry(oid, rect)
                 if located is not None:
@@ -295,10 +364,11 @@ class GranuleLockProtocol:
                             on_applied()
                         post = self._post_insert_wants(ctx, plan, report, inherit_from)
                         break
-            ctx.restarts += 1
+            self._restart(ctx)
             self._wait_for(ctx, blocked)
         # Post-mutation locks: taken outside the latch because they may
         # wait on transactions already active inside the granule.
+        self._yield("insert.post", ctx)
         self._acquire_all(ctx, post)
         return plan, report
 
@@ -452,6 +522,7 @@ class GranuleLockProtocol:
         """
         scanned_absent = False
         while True:
+            self._yield("delete", ctx)
             blocked: Optional[Want] = None
             with self.latch:
                 located = self.tree.find_entry(oid, rect)
@@ -476,7 +547,7 @@ class GranuleLockProtocol:
                     # the object (still) does not exist: done.
                     return None
             if blocked is not None:
-                ctx.restarts += 1
+                self._restart(ctx)
                 self._wait_for(ctx, blocked)
                 continue
             # Object absent: take S on all granules overlapping it ("just
@@ -493,6 +564,7 @@ class GranuleLockProtocol:
         """Remove a (committed) tombstone from the tree, per Table 3's
         "Delete (Deferred)" row.  Returns ``None`` if the entry is gone."""
         while True:
+            self._yield("physical_delete", ctx)
             with self.latch:
                 plan = self.tree.plan_delete(oid, rect)
                 if plan is None:
@@ -525,7 +597,7 @@ class GranuleLockProtocol:
                 if blocked is None:
                     report = self.tree.delete(oid, rect, collect_orphans=True)
                     break
-            ctx.restarts += 1
+            self._restart(ctx)
             self._wait_for(ctx, blocked)
 
         # Re-insert every orphan under its own insert locks (§3.7: "similar
@@ -562,6 +634,7 @@ class GranuleLockProtocol:
         changes.
         """
         while True:
+            self._yield("reinsert", ctx)
             with self.latch:
                 plan = self.tree.plan_insert(entry.rect, target_level=target_level)
                 wants: List[Want] = []
@@ -581,7 +654,8 @@ class GranuleLockProtocol:
                     report = self.tree.reinsert_entry(entry, target_level)
                     post = self._post_insert_wants(ctx, plan, report, None)
                     break
-            ctx.restarts += 1
+            self._restart(ctx)
             self._wait_for(ctx, blocked)
+        self._yield("reinsert.post", ctx)
         self._acquire_all(ctx, post)
         return report

@@ -99,6 +99,9 @@ class LockRequest:
     #: the lock-table stripe this request waits in (set at enqueue time);
     #: wait strategies block on this stripe's mutex/condition
     stripe: Optional["_Stripe"] = field(default=None, repr=False, compare=False)
+    #: monotonic token set by a parked wait strategy while registered
+    #: (see :mod:`repro.concurrency.waits`); ``None`` when not parked
+    wait_token: Optional[int] = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -246,10 +249,15 @@ class LockManager:
         victim_selector: Optional[Callable[[Tuple[TxnId, ...]], TxnId]] = None,
         trace: bool = False,
         stripes: int = DEFAULT_STRIPES,
+        wait_observer: Optional[Callable[[str, LockRequest], None]] = None,
     ) -> None:
         if stripes < 1:
             raise ValueError("stripes must be >= 1")
         self.wait_strategy: WaitStrategy = wait_strategy or ThreadedWait()
+        #: stress-visible wait events: called with ("enqueue" | "grant" |
+        #: "abort" | "timeout", request).  Invoked under a stripe mutex --
+        #: observers must only record, never block or re-enter the manager.
+        self.wait_observer = wait_observer
         self._stripes: List[_Stripe] = [_Stripe(i) for i in range(stripes)]
         #: guards the trace only; lock order is always stripe mutex(es)
         #: first, registry last
@@ -369,6 +377,7 @@ class LockManager:
             )
             self._enqueue(head, request)
             stripe.wait_count += 1
+            self._observe("enqueue", request)
         # Deadlock detection takes a global snapshot under *all* stripe
         # mutexes; it must run with our single stripe mutex released so
         # canonical acquisition order is preserved.  A cycle needs at
@@ -473,6 +482,7 @@ class LockManager:
                             self._dequeue(head, request)
                             request.status = RequestStatus.ABORTED
                             request.error = LockError(f"transaction {txn_id!r} terminated")
+                            self._observe("abort", request)
                             self.wait_strategy.notify(self, request)
                             changed = True
                     if changed:
@@ -629,6 +639,7 @@ class LockManager:
                         stripe, head, request.txn_id, request.resource, request.mode, request.duration
                     )
                     request.status = RequestStatus.GRANTED
+                    self._observe("grant", request)
                     self.wait_strategy.notify(self, request)
                     made_progress = True
                     break
@@ -701,6 +712,7 @@ class LockManager:
                     self._dequeue(head, request)
                     request.status = RequestStatus.ABORTED
                     request.error = error
+                    self._observe("abort", request)
                     self.wait_strategy.notify(self, request)
         # Whatever queue the victim vacated may now be grantable.
         for stripe, _resource, head in self._iter_heads_locked():
@@ -714,6 +726,31 @@ class LockManager:
             self._process_queue(stripe, head)
         if request.status is RequestStatus.WAITING:
             request.status = RequestStatus.DENIED
+            self._observe("timeout", request)
+
+    def _observe(self, event: str, request: LockRequest) -> None:
+        if self.wait_observer is not None:
+            self.wait_observer(event, request)
+
+    # ------------------------------------------------------------------
+    # introspection for the stress harness
+    # ------------------------------------------------------------------
+
+    def outstanding(self) -> Tuple[int, int]:
+        """(granted holds, queued requests) across all stripes.
+
+        After every transaction has terminated both numbers must be zero;
+        the stress harness asserts this as a post-run invariant (a leaked
+        hold means some release path missed a bookkeeping entry).
+        """
+        holds = 0
+        queued = 0
+        for stripe in self._stripes:
+            with stripe.mutex:
+                for head in stripe.heads.values():
+                    holds += sum(1 for held in head.granted.values() if not held.empty())
+                    queued += len(head.queue)
+        return holds, queued
 
     # ------------------------------------------------------------------
     # tracing

@@ -1,0 +1,303 @@
+"""The deterministic concurrency stress harness.
+
+One stress run = one seeded schedule: N worker processes replay generated
+transaction scripts against a :class:`PhantomProtectedRTree` under the
+cooperative simulator, with the protocol's yield points checkpointing the
+baton, fault daemons injecting aborts / cancellations / adversarial
+vacuum and split timing, and every operation's lock trace recorded.
+Afterwards the oracle (:mod:`repro.stress.oracle`) re-examines the run;
+any violation makes the run a failure, and the whole run replays exactly
+from its :class:`StressConfig` alone.
+
+Typical use::
+
+    result = run_stress(StressConfig(seed=7))
+    assert result.ok, result.violations
+
+or, from the command line, ``python -m repro.stress --seed 0..99``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.concurrency.history import History
+from repro.concurrency.simulator import ProcessCancelled, SimProcess, Simulator
+from repro.concurrency.waits import SimulatedWait
+from repro.core import InsertionPolicy, PhantomProtectedRTree
+from repro.geometry import Rect
+from repro.lock.manager import LockManager
+from repro.rtree.tree import RTreeConfig
+from repro.stress.faults import FaultInjector, FaultPlan, InjectedAbort
+from repro.stress.oracle import OpRecord, Violation, check_run
+from repro.txn import TransactionAborted
+from repro.workloads.datasets import UNIT, Object, uniform_rects
+from repro.workloads.operations import MixSpec, OpCall, TxnScript, generate_scripts
+
+POLICIES: Dict[str, InsertionPolicy] = {
+    "all-paths": InsertionPolicy.ALL_PATHS,
+    "on-growth": InsertionPolicy.ON_GROWTH,
+    "active-searchers": InsertionPolicy.ON_GROWTH_ACTIVE_SEARCHERS,
+    # deliberately unsound (§3.2's counterexample policy) -- used by the
+    # harness's own tests to prove the oracle actually catches phantoms
+    "naive": InsertionPolicy.NAIVE,
+}
+
+
+def _default_mix() -> MixSpec:
+    # write-heavy with large scans: maximum granule contention, frequent
+    # splits (small fanout below) and regular deferred deletes
+    return MixSpec(
+        read_scan=0.30,
+        insert=0.30,
+        delete=0.15,
+        update_single=0.10,
+        update_scan=0.05,
+        scan_extent=0.25,
+        object_extent=0.05,
+        think_time=1.0,
+    )
+
+
+@dataclass
+class StressConfig:
+    """Everything needed to replay one stress run exactly."""
+
+    seed: int = 0
+    policy: str = "on-growth"
+    n_workers: int = 5
+    txns_per_worker: int = 2
+    ops_per_txn: int = 4
+    n_preload: int = 60
+    fanout: int = 5
+    max_retries: int = 4
+    #: simulator cost jitter: different seeds explore different interleavings
+    jitter: float = 0.05
+    mix: MixSpec = field(default_factory=_default_mix)
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    strict_waits: bool = True
+    #: explicit per-worker scripts; ``None`` generates them from the seed.
+    #: The minimizer sets this to shrink a failing schedule.
+    scripts: Optional[List[List[TxnScript]]] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; choose from {sorted(POLICIES)}")
+
+
+@dataclass
+class StressResult:
+    """One run's verdict plus enough counters to see what it exercised."""
+
+    config: StressConfig
+    violations: List[Violation]
+    committed: int = 0
+    aborted: int = 0
+    deadlocks: int = 0
+    lock_waits: int = 0
+    injected_aborts: int = 0
+    cancellations: int = 0
+    delayed_posts: int = 0
+    vacuum_passes: int = 0
+    yields: int = 0
+    operations: int = 0
+    sim_time: float = 0.0
+    steps: int = 0
+    wait_events: Dict[str, int] = field(default_factory=dict)
+    schedule_len: int = 0
+    #: the last dispatches before the run ended (artifact debugging aid)
+    schedule_tail: List[tuple] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"seed={self.config.seed} {verdict}: {self.committed} committed, "
+            f"{self.aborted} aborted, {self.deadlocks} deadlocks, "
+            f"{self.injected_aborts} injected aborts, {self.cancellations} cancellations, "
+            f"{self.yields} yields, sim_time={self.sim_time:.0f}"
+        )
+
+
+def make_preload(config: StressConfig) -> List[Object]:
+    return uniform_rects(
+        config.n_preload, seed=config.seed, extent_fraction=0.02, universe=UNIT
+    )
+
+
+def make_scripts(config: StressConfig, preload: List[Object]) -> List[List[TxnScript]]:
+    return generate_scripts(
+        preload,
+        config.n_workers,
+        config.txns_per_worker,
+        config.ops_per_txn,
+        config.mix,
+        seed=config.seed,
+        universe=UNIT,
+    )
+
+
+def _apply(index: PhantomProtectedRTree, txn, op: OpCall):
+    if op.kind == "read_scan":
+        return index.read_scan(txn, op.rect)
+    if op.kind == "insert":
+        return index.insert(txn, op.oid, op.rect)
+    if op.kind == "delete":
+        return index.delete(txn, op.oid, op.rect)
+    if op.kind == "read_single":
+        return index.read_single(txn, op.oid, op.rect)
+    if op.kind == "update_single":
+        return index.update_single(txn, op.oid, op.rect, payload="updated")
+    if op.kind == "update_scan":
+        return index.update_scan(txn, op.rect, lambda oid, rect, old: "bulk-updated")
+    raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+def _found(op: OpCall, result) -> bool:
+    if op.kind in ("read_scan", "update_scan"):
+        return bool(result.matches)
+    if op.kind == "insert":
+        return True
+    return bool(getattr(result, "found", False))
+
+
+def run_stress(
+    config: StressConfig,
+    wait_strategy_factory: Optional[Callable[[Simulator], SimulatedWait]] = None,
+) -> StressResult:
+    """Execute one seeded stress schedule and run the oracle over it.
+
+    ``wait_strategy_factory`` exists for the harness's own regression
+    tests: substituting a deliberately broken strategy must make the
+    oracle's invariants fire.
+    """
+    preload = make_preload(config)
+    scripts = config.scripts if config.scripts is not None else make_scripts(config, preload)
+
+    sim = Simulator(seed=config.seed, jitter=config.jitter, record_schedule=True)
+    if wait_strategy_factory is not None:
+        strategy = wait_strategy_factory(sim)
+    else:
+        strategy = SimulatedWait(sim, strict=config.strict_waits)
+    wait_events: Dict[str, int] = {}
+
+    def observe(event: str, request) -> None:
+        # called under the stripe mutex: record only, never block
+        wait_events[event] = wait_events.get(event, 0) + 1
+
+    lm = LockManager(wait_strategy=strategy, wait_observer=observe)
+    history = History()
+    index = PhantomProtectedRTree(
+        RTreeConfig(max_entries=config.fanout, universe=UNIT),
+        lock_manager=lm,
+        policy=POLICIES[config.policy],
+        history=history,
+        clock=lambda: sim.clock,
+    )
+    injector = FaultInjector(sim, config.faults, config.seed)
+    index.protocol.yield_hook = injector.hook
+
+    with index.transaction("preload") as txn:
+        for oid, rect in preload:
+            index.insert(txn, oid, rect)
+
+    records: List[OpRecord] = []
+    result = StressResult(config=config, violations=[])
+
+    def worker(worker_scripts: List[TxnScript]) -> Callable[[], None]:
+        def body() -> None:
+            for script in worker_scripts:
+                for attempt in range(config.max_retries + 1):
+                    txn = index.begin(f"{script.name}~{attempt}" if attempt else script.name)
+                    try:
+                        for op in script.ops:
+                            op_result = _apply(index, txn, op)
+                            records.append(
+                                OpRecord(
+                                    txn=txn.txn_id,
+                                    kind=op.kind,
+                                    oid=op.oid,
+                                    found=_found(op, op_result),
+                                    locks=tuple(op_result.locks_taken),
+                                )
+                            )
+                            result.operations += 1
+                            cost = op_result.physical_reads * 2.0 + 1.0 + op.think
+                            sim.checkpoint(cost)
+                        index.commit(txn)
+                        break
+                    except TransactionAborted:
+                        pass  # deadlock victim: already rolled back
+                    except (InjectedAbort, ProcessCancelled) as exc:
+                        if txn.is_active:
+                            index.abort(txn, reason=f"fault injection: {exc}")
+                    # back off, staggered per script so two victims do not
+                    # re-collide in lock step (crc32: deterministic, unlike
+                    # per-process-randomised string hashing)
+                    stagger = (zlib.crc32(script.name.encode()) % 7) + 1
+                    sim.checkpoint(5.0 * (attempt + 1) * stagger)
+
+        return body
+
+    worker_procs: List[SimProcess] = []
+    for w, worker_scripts in enumerate(scripts):
+        worker_procs.append(sim.spawn(f"worker-{w}", worker(worker_scripts), delay=w * 0.01))
+
+    def workers_done() -> bool:
+        return all(p.state == SimProcess.DONE for p in worker_procs)
+
+    plan = config.faults
+    if plan.vacuum_interval > 0:
+
+        def vacuum_body() -> None:
+            while not workers_done():
+                sim.checkpoint(plan.vacuum_interval)
+                index.vacuum(limit=plan.vacuum_limit)
+                injector.counters.vacuum_passes += 1
+
+        sim.spawn("vacuum", vacuum_body, delay=plan.vacuum_interval)
+
+    if plan.cancel_interval > 0:
+        chaos_rng = random.Random((config.seed * 1_000_003 + 0xC4A05) % 2**63)
+
+        def chaos_body() -> None:
+            while not workers_done():
+                sim.checkpoint(plan.cancel_interval)
+                blocked = [p for p in worker_procs if p.state == SimProcess.BLOCKED]
+                if blocked and chaos_rng.random() < plan.cancel_rate:
+                    victim = blocked[chaos_rng.randrange(len(blocked))]
+                    if sim.cancel(victim):
+                        injector.counters.cancellations += 1
+
+        sim.spawn("chaos", chaos_body, delay=plan.cancel_interval * 1.5)
+
+    sim.run()
+    sim.raise_process_errors()
+
+    result.committed = index.txn_manager.committed - 1  # exclude the preload txn
+    result.aborted = index.txn_manager.aborted
+    result.sim_time = sim.clock
+    result.steps = sim.steps
+
+    # drain every deferred delete on the driver thread (the yield hook
+    # ignores non-simulated threads), then interrogate the oracle
+    index.vacuum()
+    result.violations = check_run(history, records, index, strategy, universe=UNIT)
+
+    result.deadlocks = lm.deadlock_count
+    result.lock_waits = lm.wait_count
+    result.injected_aborts = injector.counters.injected_aborts
+    result.cancellations = injector.counters.cancellations
+    result.delayed_posts = injector.counters.delayed_posts
+    result.vacuum_passes = injector.counters.vacuum_passes
+    result.yields = injector.counters.yields
+    result.wait_events = dict(wait_events)
+    result.schedule_len = len(sim.schedule)
+    result.schedule_tail = sim.schedule[-50:]
+    return result

@@ -1,0 +1,145 @@
+"""Greedy failure minimizer.
+
+Given a failing :class:`StressConfig`, shrink it while it keeps failing:
+drop whole workers, then whole transaction scripts, then individual
+operations, then switch off fault families one at a time.  Every candidate
+is re-run from scratch (runs are deterministic, so "still fails" is a pure
+function of the config).  The result is a locally minimal schedule -- no
+single removable piece remains -- which is what goes into the repro
+artifact for a human to stare at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from repro.stress.artifact import explicit_config
+from repro.stress.harness import StressConfig, StressResult, run_stress
+from repro.workloads.operations import TxnScript
+
+#: fault families the minimizer tries to switch off, in order
+_FAULT_KNOBS = ("aborts", "cancels", "vacuum", "split-delay", "yields")
+
+
+@dataclass
+class MinimizeReport:
+    """The outcome of one minimization."""
+
+    config: StressConfig          # the minimal still-failing config
+    result: StressResult          # its (failing) run
+    runs: int                     # candidate runs spent
+    initial_ops: int
+    final_ops: int
+
+    def summary(self) -> str:
+        return (
+            f"minimized {self.initial_ops} -> {self.final_ops} ops "
+            f"in {self.runs} runs; {len(self.result.violations)} violation(s) remain"
+        )
+
+
+def _count_ops(scripts: List[List[TxnScript]]) -> int:
+    return sum(len(s.ops) for worker in scripts for s in worker)
+
+
+def _copy_scripts(scripts: List[List[TxnScript]]) -> List[List[TxnScript]]:
+    return [[TxnScript(s.name, list(s.ops)) for s in worker] for worker in scripts]
+
+
+def minimize(
+    config: StressConfig,
+    still_fails: Optional[Callable[[StressResult], bool]] = None,
+    max_runs: int = 300,
+) -> MinimizeReport:
+    """Shrink ``config`` to a locally minimal failing schedule.
+
+    ``still_fails`` decides whether a candidate run reproduces the failure
+    (default: any violation at all).  ``max_runs`` bounds the search.
+    """
+    if still_fails is None:
+        still_fails = lambda result: not result.ok  # noqa: E731
+
+    base = explicit_config(config)
+    assert base.scripts is not None
+    runs = 0
+
+    def attempt(candidate: StressConfig) -> Optional[StressResult]:
+        nonlocal runs
+        if runs >= max_runs:
+            return None
+        runs += 1
+        result = run_stress(candidate)
+        return result if still_fails(result) else None
+
+    current = base
+    current_result = run_stress(current)
+    runs += 1
+    if not still_fails(current_result):
+        raise ValueError("config does not fail; nothing to minimize")
+    initial_ops = _count_ops(current.scripts)
+
+    shrunk = True
+    while shrunk and runs < max_runs:
+        shrunk = False
+
+        # 1. drop whole workers
+        w = 0
+        while w < len(current.scripts) and len(current.scripts) > 1:
+            candidate_scripts = _copy_scripts(current.scripts)
+            del candidate_scripts[w]
+            result = attempt(replace(current, scripts=candidate_scripts))
+            if result is not None:
+                current = replace(current, scripts=candidate_scripts)
+                current_result = result
+                shrunk = True
+            else:
+                w += 1
+
+        # 2. drop whole scripts
+        for w in range(len(current.scripts)):
+            s = 0
+            while s < len(current.scripts[w]):
+                candidate_scripts = _copy_scripts(current.scripts)
+                del candidate_scripts[w][s]
+                result = attempt(replace(current, scripts=candidate_scripts))
+                if result is not None:
+                    current = replace(current, scripts=candidate_scripts)
+                    current_result = result
+                    shrunk = True
+                else:
+                    s += 1
+
+        # 3. drop individual operations
+        for w in range(len(current.scripts)):
+            for s in range(len(current.scripts[w])):
+                o = 0
+                while o < len(current.scripts[w][s].ops):
+                    candidate_scripts = _copy_scripts(current.scripts)
+                    del candidate_scripts[w][s].ops[o]
+                    result = attempt(replace(current, scripts=candidate_scripts))
+                    if result is not None:
+                        current = replace(current, scripts=candidate_scripts)
+                        current_result = result
+                        shrunk = True
+                    else:
+                        o += 1
+
+        # 4. switch off fault families
+        for knob in _FAULT_KNOBS:
+            candidate_faults = current.faults.without(knob)
+            if candidate_faults == current.faults:
+                continue
+            result = attempt(replace(current, faults=candidate_faults))
+            if result is not None:
+                current = replace(current, faults=candidate_faults)
+                current_result = result
+                shrunk = True
+
+    return MinimizeReport(
+        config=current,
+        result=current_result,
+        runs=runs,
+        initial_ops=initial_ops,
+        final_ops=_count_ops(current.scripts),
+    )

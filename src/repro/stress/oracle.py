@@ -1,0 +1,339 @@
+"""The stress-run correctness oracle.
+
+After a run completes, the oracle re-examines everything the harness
+recorded -- the operation history, the per-operation lock traces, and the
+final index state -- and returns a list of :class:`Violation` items.  A
+clean run returns the empty list.
+
+Checks, in order:
+
+1. **Phantoms / visibility** -- :func:`repro.concurrency.checker.
+   find_phantoms` re-executes every committed scan against the serialized
+   history (the paper's anomaly, checked directly).
+2. **Conflict serializability** -- the predicate-aware conflict graph must
+   be acyclic.
+3. **Lost updates** -- no committed transaction's write lands between
+   another committed transaction's write to the same object and that
+   transaction's commit (strict 2PL makes this impossible; an occurrence
+   means an X lock was lost).
+4. **Table 3 lock patterns** -- every operation's lock trace must stay
+   within the mode/duration/namespace set Table 3 prescribes for its row,
+   and first-touch operations must actually take their object lock.
+5. **Structural invariants** -- no leaked lock-table entries, no parked
+   waiters left registered, the deferred-delete queue drained, granule
+   coverage without gaps, the geometry cache agreeing with fresh
+   computation, and the final tree contents equal to the replayed history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.concurrency.checker import (
+    SerializabilityViolation,
+    check_conflict_serializable,
+    find_phantoms,
+)
+from repro.concurrency.history import History, OpKind
+from repro.core.granules import GranuleSet
+from repro.core.protocol import Want
+from repro.geometry import Rect, Region
+from repro.lock.modes import LockDuration, LockMode, covers
+from repro.lock.resource import ResourceId
+
+S, X, IX, SIX = LockMode.S, LockMode.X, LockMode.IX, LockMode.SIX
+SHORT, COMMIT = LockDuration.SHORT, LockDuration.COMMIT
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle finding."""
+
+    kind: str  # "phantom" | "serializability" | "lost-update" | "lock-pattern" | "invariant"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One executed operation, as the harness recorded it."""
+
+    txn: Hashable
+    kind: str  # OpCall kind string
+    oid: Optional[Hashable]
+    found: bool
+    locks: Tuple[Want, ...]
+
+
+# ---------------------------------------------------------------------------
+# 3. lost updates
+# ---------------------------------------------------------------------------
+
+_HISTORY_WRITES = (OpKind.INSERT, OpKind.DELETE, OpKind.UPDATE_SINGLE, OpKind.UPDATE_SCAN)
+
+
+def find_lost_updates(history: History) -> List[Violation]:
+    """Writes by committed transactions must not interleave inside another
+    committed transaction's write-to-commit window on the same object."""
+    commit_seqs: Dict[Hashable, int] = {}
+    for op in history.ops:
+        if op.kind is OpKind.COMMIT:
+            commit_seqs[op.txn] = op.seq
+
+    def write_set(op) -> Set[Hashable]:
+        if op.kind is OpKind.UPDATE_SCAN:
+            return set(op.result)
+        if op.kind is OpKind.UPDATE_SINGLE and not op.result:
+            return set()  # object not found: nothing written
+        return {op.oid} if op.oid is not None else set()
+
+    writes = [
+        op for op in history.ops if op.kind in _HISTORY_WRITES and op.txn in commit_seqs
+    ]
+    out: List[Violation] = []
+    for a in writes:
+        window_end = commit_seqs[a.txn]
+        targets = write_set(a)
+        if not targets:
+            continue
+        for b in writes:
+            if b.txn == a.txn or not (a.seq < b.seq < window_end):
+                continue
+            clobbered = targets & write_set(b)
+            if clobbered:
+                out.append(
+                    Violation(
+                        "lost-update",
+                        f"{b.txn!r} wrote {sorted(map(str, clobbered))} at seq {b.seq} "
+                        f"inside {a.txn!r}'s write({a.seq})-to-commit({window_end}) window",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 4. Table 3 lock patterns
+# ---------------------------------------------------------------------------
+
+#: allowed (namespace, mode, duration) per operation, straight from
+#: Table 3 (including post-split and inherited-coverage rows)
+_ALLOWED: Dict[str, Set[Tuple[str, LockMode, LockDuration]]] = {
+    "read_scan": {("leaf", S, COMMIT), ("ext", S, COMMIT)},
+    "read_single": {("obj", S, COMMIT)},
+    "update_single": {("leaf", IX, COMMIT), ("obj", X, COMMIT)},
+    "update_scan": {
+        ("leaf", SIX, COMMIT),
+        ("ext", SIX, COMMIT),
+        ("leaf", S, COMMIT),
+        ("ext", S, COMMIT),
+        ("obj", X, COMMIT),
+    },
+    "insert": {
+        ("leaf", IX, COMMIT),
+        ("obj", X, COMMIT),
+        # short fences: target SIX before a split, policy IX overlap set,
+        # SIX on deforming external granules
+        ("leaf", SIX, SHORT),
+        ("leaf", IX, SHORT),
+        ("ext", IX, SHORT),
+        ("ext", SIX, SHORT),
+        # post-split / inherited coverage
+        ("leaf", SIX, COMMIT),
+        ("leaf", S, COMMIT),
+        ("ext", S, COMMIT),
+    },
+    # logical delete; the absent path degenerates to a ReadScan
+    "delete": {
+        ("leaf", IX, COMMIT),
+        ("obj", X, COMMIT),
+        ("leaf", S, COMMIT),
+        ("ext", S, COMMIT),
+    },
+}
+
+#: object-lock mode each op must hold on its target when it finds it
+_REQUIRED_OBJ_MODE: Dict[str, LockMode] = {
+    "insert": X,
+    "delete": X,
+    "update_single": X,
+    "read_single": S,
+}
+
+
+def check_lock_patterns(records: Sequence[OpRecord]) -> List[Violation]:
+    out: List[Violation] = []
+    # strongest object-lock mode each transaction has taken so far
+    held_obj: Dict[Hashable, Dict[Hashable, LockMode]] = {}
+    for rec in records:
+        allowed = _ALLOWED.get(rec.kind)
+        if allowed is None:
+            out.append(Violation("lock-pattern", f"unknown op kind {rec.kind!r}"))
+            continue
+        for resource, mode, duration in rec.locks:
+            ns = resource.namespace.value
+            if (ns, mode, duration) not in allowed:
+                out.append(
+                    Violation(
+                        "lock-pattern",
+                        f"{rec.txn!r} {rec.kind}: ({ns}, {mode.name}, {duration.name}) "
+                        f"on {resource!r} is outside the Table 3 row",
+                    )
+                )
+        # first-touch object lock requirement
+        needed = _REQUIRED_OBJ_MODE.get(rec.kind)
+        if needed is not None and rec.found and rec.oid is not None:
+            taken_modes = [
+                mode
+                for resource, mode, _d in rec.locks
+                if resource == ResourceId.obj(rec.oid)
+            ]
+            prior = held_obj.get(rec.txn, {}).get(rec.oid)
+            ok = any(covers(m, needed) for m in taken_modes) or (
+                prior is not None and covers(prior, needed)
+            )
+            if not ok:
+                out.append(
+                    Violation(
+                        "lock-pattern",
+                        f"{rec.txn!r} {rec.kind} of {rec.oid!r} proceeded without "
+                        f"a covering {needed.name} object lock",
+                    )
+                )
+        # update the per-txn object-lock map from this op's trace
+        txn_map = held_obj.setdefault(rec.txn, {})
+        for resource, mode, _d in rec.locks:
+            if resource.namespace.value == "obj":
+                oid = resource.key
+                prior = txn_map.get(oid)
+                if prior is None or covers(mode, prior):
+                    txn_map[oid] = mode
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 5. structural invariants
+# ---------------------------------------------------------------------------
+
+def _regions_equal(a: Region, b: Region) -> bool:
+    return a.subtract(b.parts).is_empty() and b.subtract(a.parts).is_empty()
+
+
+def check_structure(index, strategy) -> List[Violation]:
+    """Post-run invariants over the index, lock table and wait strategy."""
+    out: List[Violation] = []
+    holds, queued = index.lock_manager.outstanding()
+    if holds or queued:
+        out.append(
+            Violation(
+                "invariant",
+                f"lock table not empty after run: {holds} holds, {queued} queued",
+            )
+        )
+    leftover_waiters = getattr(strategy, "outstanding", lambda: 0)()
+    if leftover_waiters:
+        out.append(
+            Violation(
+                "invariant",
+                f"{leftover_waiters} parked waiter(s) still registered in the "
+                "wait strategy -- a wait path unwound without deregistering",
+            )
+        )
+    if len(index.deferred):
+        out.append(
+            Violation(
+                "invariant",
+                f"deferred-delete queue not drained: {len(index.deferred)} pending",
+            )
+        )
+    gaps = index.granules.coverage_leftover()
+    if not gaps.is_empty():
+        out.append(
+            Violation("invariant", f"granule coverage has gaps: {gaps.parts!r}")
+        )
+    # geometry cache vs fresh computation, over every live node
+    fresh = GranuleSet(index.tree, use_cache=False)
+    cached = index.granules
+    for node in index.tree.iter_nodes():
+        if cached.node_space(node) != fresh.node_space(node):
+            out.append(
+                Violation(
+                    "invariant",
+                    f"cached node_space stale for page {node.page_id}",
+                )
+            )
+        if not node.is_leaf and not _regions_equal(
+            cached.external_region(node), fresh.external_region(node)
+        ):
+            out.append(
+                Violation(
+                    "invariant",
+                    f"cached external region stale for page {node.page_id}",
+                )
+            )
+    return out
+
+
+def check_final_state(history: History, index, universe: Rect) -> List[Violation]:
+    """The tree's final contents must equal the committed history replayed."""
+    commit_seqs: Dict[Hashable, int] = {}
+    for op in history.ops:
+        if op.kind is OpKind.COMMIT:
+            commit_seqs[op.txn] = op.seq
+    expected: Dict[Hashable, Rect] = dict(history.initial)
+    for op in history.ops:
+        if op.txn not in commit_seqs:
+            continue
+        if op.kind is OpKind.INSERT and op.rect is not None:
+            expected[op.oid] = op.rect
+        elif op.kind is OpKind.DELETE:
+            expected.pop(op.oid, None)
+    actual = {
+        e.oid: e.rect for e in index.tree.search(universe) if not e.tombstone
+    }
+    if actual != expected:
+        missing = sorted(map(str, set(expected) - set(actual)))
+        extra = sorted(map(str, set(actual) - set(expected)))
+        out = [
+            Violation(
+                "invariant",
+                f"final tree state diverges from committed history: "
+                f"missing={missing} extra={extra}",
+            )
+        ]
+        return out
+    return []
+
+
+# ---------------------------------------------------------------------------
+# the whole battery
+# ---------------------------------------------------------------------------
+
+def check_run(
+    history: History,
+    records: Sequence[OpRecord],
+    index,
+    strategy,
+    universe: Rect,
+) -> List[Violation]:
+    """Run every oracle check; return all violations found."""
+    out: List[Violation] = []
+    for report in find_phantoms(history):
+        out.append(
+            Violation(
+                "phantom",
+                f"{report.kind} for reader {report.reader!r} "
+                f"(scan seq {report.scan_seq}): {report.detail}",
+            )
+        )
+    try:
+        check_conflict_serializable(history)
+    except SerializabilityViolation as exc:
+        out.append(Violation("serializability", str(exc)))
+    out.extend(find_lost_updates(history))
+    out.extend(check_lock_patterns(records))
+    out.extend(check_structure(index, strategy))
+    out.extend(check_final_state(history, index, universe))
+    return out

@@ -1,0 +1,173 @@
+"""Geometry-cache invalidation across root replacement (§3.7).
+
+The cache keys entries by ``(page.version, node is root)``.  The delicate
+case is **root replacement by node elimination**: ``_shrink_root`` frees
+the old root page and promotes an existing child page into the root role
+*without writing the child's page* -- its version does not change, so the
+``is_root`` bit is the only thing protecting the cache from serving the
+child's old (non-root) geometry as the new root's.  A stale hit would
+report the new root's covered space as its MBR instead of the whole
+universe, silently shrinking the root external granule and letting
+inserts into dead space proceed unfenced.
+
+These tests drive trees through grow/shrink/regrow cycles -- at the raw
+R-tree level and through the full transactional index with deferred
+physical deletes -- and require every cached answer to match fresh
+computation at every root transition.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PhantomProtectedRTree
+from repro.core.granules import GranuleSet
+from repro.geometry import Rect, Region
+from repro.rtree import RTree, RTreeConfig
+
+UNIT = Rect((0.0, 0.0), (1.0, 1.0))
+
+
+def regions_equal(a: Region, b: Region) -> bool:
+    return a.subtract(b.parts).is_empty() and b.subtract(a.parts).is_empty()
+
+
+def assert_cache_matches_fresh(cached: GranuleSet, fresh: GranuleSet) -> None:
+    tree = cached.tree
+    for node in tree.iter_nodes():
+        assert cached.node_space(node) == fresh.node_space(node), (
+            f"stale node_space for page {node.page_id} (root={tree.root_id})"
+        )
+        if not node.is_leaf:
+            got = cached.external_region(node)
+            want = fresh.external_region(node)
+            assert regions_equal(got, want), (
+                f"stale external region for page {node.page_id} (root={tree.root_id})"
+            )
+
+
+def clustered_rect(rng: random.Random) -> Rect:
+    # clustered so deletions collapse whole subtrees (forcing eliminations)
+    x = rng.uniform(0.0, 0.9)
+    y = rng.uniform(0.0, 0.9)
+    return Rect((x, y), (min(1.0, x + 0.05), min(1.0, y + 0.05)))
+
+
+def test_shrink_promotes_child_without_version_bump():
+    """The precise hazard: after ``_shrink_root`` the promoted child keeps
+    its page version, only the is_root bit distinguishes its cached entry.
+    The cached covered space must flip to the universe anyway."""
+    tree = RTree(RTreeConfig(max_entries=4, universe=UNIT))
+    cached = GranuleSet(tree)
+    fresh = GranuleSet(tree, use_cache=False)
+    rng = random.Random(7)
+    objects = {}
+    for oid in range(24):
+        r = clustered_rect(rng)
+        tree.insert(oid, r)
+        objects[oid] = r
+    assert tree.height >= 2
+    old_root = tree.root_id
+
+    # warm the cache on every node, *including* the future root while it
+    # is still an interior/leaf node (this plants the entry whose is_root
+    # bit must later invalidate)
+    assert_cache_matches_fresh(cached, fresh)
+
+    # delete until the root collapses onto a promoted child
+    replaced = False
+    for oid, r in list(objects.items()):
+        tree.delete(oid, r)
+        del objects[oid]
+        if tree.root_id != old_root:
+            replaced = True
+            # promoted-root page: same version as before promotion, but
+            # its covered space is now the whole universe
+            root_node = tree.root()
+            assert cached.node_space(root_node) == UNIT
+            assert_cache_matches_fresh(cached, fresh)
+            old_root = tree.root_id
+    assert replaced, "scenario never exercised a root replacement"
+
+
+def run_root_cycle(seed: int) -> None:
+    """Grow to height>=3, shrink to a leaf root, regrow -- checking the
+    cache at every step and requiring actual root replacements."""
+    rng = random.Random(seed)
+    tree = RTree(RTreeConfig(max_entries=4, universe=UNIT))
+    cached = GranuleSet(tree)
+    fresh = GranuleSet(tree, use_cache=False)
+    objects = {}
+    next_oid = 0
+    root_ids = {tree.root_id}
+
+    for _ in range(30):
+        r = clustered_rect(rng)
+        tree.insert(next_oid, r)
+        objects[next_oid] = r
+        next_oid += 1
+        root_ids.add(tree.root_id)
+        assert_cache_matches_fresh(cached, fresh)
+    assert tree.height >= 2
+
+    # tear it all down: every underflow/elimination on the way must keep
+    # the cache honest, through the final promotion to a leaf root
+    for oid, r in sorted(objects.items()):
+        tree.delete(oid, r)
+        root_ids.add(tree.root_id)
+        assert_cache_matches_fresh(cached, fresh)
+    objects.clear()
+    assert tree.height == 1
+
+    # regrow: the root role moves again (new pages this time)
+    for _ in range(15):
+        r = clustered_rect(rng)
+        tree.insert(next_oid, r)
+        objects[next_oid] = r
+        next_oid += 1
+        root_ids.add(tree.root_id)
+        assert_cache_matches_fresh(cached, fresh)
+    assert len(root_ids) >= 3, "scenario never replaced the root"
+    assert cached.coverage_leftover().is_empty()
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_cache_across_root_replacement_cycles(seed):
+    run_root_cycle(seed)
+
+
+def test_cache_across_deferred_delete_root_collapse():
+    """Through the full index: logical deletes + vacuum's physical deletes
+    (§3.7 node elimination) collapse the root while the protocol keeps
+    probing granule geometry through the cache."""
+    index = PhantomProtectedRTree(RTreeConfig(max_entries=4, universe=UNIT))
+    rng = random.Random(11)
+    objects = {}
+    with index.transaction("grow") as txn:
+        for oid in range(20):
+            r = clustered_rect(rng)
+            index.insert(txn, oid, r)
+            objects[oid] = r
+    assert index.tree.height >= 2
+    old_root = index.tree.root_id
+
+    with index.transaction("shrink") as txn:
+        for oid, r in sorted(objects.items()):
+            index.delete(txn, oid, r)
+    removed = index.vacuum()
+    assert removed == len(objects)
+    assert index.tree.root_id != old_root or index.tree.height == 1
+
+    fresh = GranuleSet(index.tree, use_cache=False)
+    assert_cache_matches_fresh(index.granules, fresh)
+    assert index.granules.coverage_leftover().is_empty()
+
+    # regrow through the protocol and re-verify
+    with index.transaction("regrow") as txn:
+        for oid in range(100, 115):
+            index.insert(txn, oid, clustered_rect(rng))
+    fresh = GranuleSet(index.tree, use_cache=False)
+    assert_cache_matches_fresh(index.granules, fresh)
+    assert index.granules.coverage_leftover().is_empty()

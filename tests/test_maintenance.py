@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import PhantomProtectedRTree
-from repro.core.maintenance import DeferredDeleteQueue
+from repro.core.maintenance import DeferredDelete, DeferredDeleteQueue
 from repro.geometry import Rect
 from repro.rtree import RTreeConfig, validate_tree
 
@@ -116,3 +116,79 @@ class TestPhysicalDeletion:
         with index.transaction() as txn:
             res = index.read_scan(txn, Rect((0, 0), (1, 1)))
         assert sorted(map(str, res.oids)) == sorted(map(str, live))
+
+
+class TestRequeueSemantics:
+    """Regression tests for the bounded-pass requeue fix: a deadlocking
+    removal must consume pass budget, back off behind fresh work, and
+    never corrupt the ``processed`` counter."""
+
+    class ScriptedIndex:
+        """Fails ``run_deferred_delete`` for chosen oids, like a removal
+        repeatedly picked as a deadlock victim."""
+
+        def __init__(self, fail_oids=(), fail_times=None):
+            self.fail_oids = set(fail_oids)
+            self.fail_times = fail_times  # None: fail forever
+            self.calls = []
+
+        def run_deferred_delete(self, oid, r):
+            self.calls.append(oid)
+            if oid in self.fail_oids:
+                if self.fail_times is not None:
+                    if self.calls.count(oid) > self.fail_times:
+                        return
+                from repro.lock.manager import DeadlockError
+
+                raise DeadlockError(f"vacuum-{oid}", (f"vacuum-{oid}", "other"))
+
+    def test_limit_bounds_attempts_not_successes(self):
+        q = DeferredDeleteQueue()
+        q.enqueue("poison", rect(0, 0, 1, 1))
+        q.enqueue("a", rect(1, 1, 2, 2))
+        q.enqueue("b", rect(2, 2, 3, 3))
+        index = self.ScriptedIndex(fail_oids={"poison"})
+        # Budget of 2: the deadlocking entry burns one attempt, "a" the
+        # other.  Before the fix the pass would keep popping until it had
+        # 2 *successes*, silently eating "b" as well.
+        assert q.run(index, limit=2) == 1
+        assert index.calls == ["poison", "a"]
+        assert q.processed == 1
+        # The poisoned entry is requeued *behind* the untouched fresh work.
+        remaining = list(q._pending)
+        assert [d.oid for d in remaining] == ["b", "poison"]
+        assert remaining[-1].attempts == 1
+        assert q.requeued == 1
+
+    def test_poisoned_entry_does_not_spin_a_bounded_pass(self):
+        q = DeferredDeleteQueue()
+        q.enqueue("poison", rect(0, 0, 1, 1))
+        index = self.ScriptedIndex(fail_oids={"poison"})
+        for _ in range(5):
+            assert q.run(index, limit=1) == 0
+        # one attempt per pass -- not an unbounded spin inside any pass
+        assert len(index.calls) == 5
+        assert len(q) == 1
+        assert next(iter(q._pending)).attempts == 5
+
+    def test_backoff_ordering_among_requeued_entries(self):
+        q = DeferredDeleteQueue()
+        with q._mutex:
+            q._pending.append(DeferredDelete("older-failure", rect(0, 0, 1, 1), attempts=3))
+            q._pending.append(DeferredDelete("fresh-failure", rect(1, 1, 2, 2), attempts=0))
+        index = self.ScriptedIndex(fail_oids={"older-failure", "fresh-failure"})
+        assert q.run(index) == 0
+        # ascending failure count: the fresher entry is retried first
+        assert [d.attempts for d in q._pending] == [1, 4]
+        assert [d.oid for d in q._pending] == ["fresh-failure", "older-failure"]
+
+    def test_transient_deadlock_eventually_drains(self):
+        q = DeferredDeleteQueue()
+        q.enqueue("flaky", rect(0, 0, 1, 1))
+        q.enqueue("ok", rect(1, 1, 2, 2))
+        index = self.ScriptedIndex(fail_oids={"flaky"}, fail_times=2)
+        assert q.run(index, limit=10) == 1  # ok succeeds, flaky requeued
+        assert q.run(index, limit=10) == 0  # flaky fails again
+        assert q.run(index, limit=10) == 1  # third attempt succeeds
+        assert len(q) == 0
+        assert q.processed == 2

@@ -5,6 +5,7 @@ small pure functions directly."""
 from repro.core import InsertionPolicy, PhantomProtectedRTree
 from repro.core.protocol import SHORT, COMMIT, GranuleLockProtocol, OpContext
 from repro.geometry import Rect
+from repro.lock.manager import LockManager
 from repro.lock.modes import LockMode
 from repro.lock.resource import ResourceId
 from repro.rtree.tree import RTreeConfig
@@ -41,6 +42,85 @@ class TestOpContext:
         ctx = OpContext("t")
         ctx.acquired.add((ResourceId.leaf(1), X, COMMIT))
         assert not ctx.holds_covering(ResourceId.leaf(2), S, SHORT)
+
+
+class TestDeadShortPruning:
+    """The double-count bug: a SHORT entry in ``acquired`` whose lock was
+    already released must not subsume a later SHORT want -- otherwise the
+    operation proceeds without the fence it thinks it holds."""
+
+    RES = ResourceId.leaf(7)
+
+    def test_stale_short_would_double_count(self):
+        # The raw repro: the bookkeeping says "held" after the lock died.
+        lm = LockManager()
+        ctx = OpContext("t")
+        want = (self.RES, SIX, SHORT)
+        assert lm.acquire("t", self.RES, SIX, SHORT, conditional=True)
+        ctx.acquired.add(want)
+        lm.end_operation("t")  # e.g. a retry wrapper finishing attempt #1
+        # Without pruning, holds_covering still subsumes the dead fence...
+        assert ctx.holds_covering(*want)
+        # ...and pruning removes exactly that entry.
+        ctx.prune_dead_shorts(lm)
+        assert not ctx.holds_covering(*want)
+        assert want not in ctx.acquired
+
+    def test_prune_keeps_live_shorts_and_commit_locks(self):
+        lm = LockManager()
+        ctx = OpContext("t")
+        live_short = (self.RES, IX, SHORT)
+        commit_lock = (ResourceId.obj("o"), X, COMMIT)
+        assert lm.acquire("t", self.RES, IX, SHORT, conditional=True)
+        assert lm.acquire("t", ResourceId.obj("o"), X, COMMIT, conditional=True)
+        ctx.acquired.update({live_short, commit_lock})
+        ctx.prune_dead_shorts(lm)
+        assert ctx.acquired == {live_short, commit_lock}
+        lm.release_all("t")
+
+    def test_end_operation_drops_short_bookkeeping(self):
+        # Protocol-level: end_operation releases the short locks *and*
+        # forgets them, so a reused context re-acquires its fences.
+        lm = LockManager()
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=4, universe=TEN))
+        protocol = GranuleLockProtocol(index.tree, lm)
+        ctx = OpContext("t")
+        want = (self.RES, SIX, SHORT)
+        assert lm.acquire("t", self.RES, SIX, SHORT, conditional=True)
+        ctx.acquired.add(want)
+        ctx.taken.append(want)
+        protocol.end_operation(ctx)
+        assert not ctx.holds_covering(*want)
+        # A later conditional pass must re-acquire, not skip, the fence.
+        blocked = protocol._acquire_conditional(ctx, [want])
+        assert blocked is None
+        assert lm.locks_of("t").get(self.RES, {}).get((SIX, SHORT), 0) == 1
+        lm.release_all("t")
+
+    def test_restart_path_prunes(self):
+        # _restart (called before every unconditional wait) re-validates
+        # the bookkeeping against the lock manager.
+        lm = LockManager()
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=4, universe=TEN))
+        protocol = GranuleLockProtocol(index.tree, lm)
+        ctx = OpContext("t")
+        want = (self.RES, IX, SHORT)
+        assert lm.acquire("t", self.RES, IX, SHORT, conditional=True)
+        ctx.acquired.add(want)
+        lm.end_operation("t")
+        protocol._restart(ctx)
+        assert ctx.restarts == 1
+        assert not ctx.holds_covering(*want)
+
+    def test_restart_fires_yield_hook(self):
+        lm = LockManager()
+        index = PhantomProtectedRTree(RTreeConfig(max_entries=4, universe=TEN))
+        protocol = GranuleLockProtocol(index.tree, lm)
+        seen = []
+        protocol.yield_hook = lambda tag, ctx: seen.append(tag)
+        ctx = OpContext("t")
+        protocol._restart(ctx)
+        assert seen == ["restart"]
 
 
 class TestWantOrdering:
