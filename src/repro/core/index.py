@@ -100,6 +100,11 @@ class PhantomProtectedRTree:
         self.protocol = GranuleLockProtocol(self.tree, self.lock_manager, policy)
         self.deferred = DeferredDeleteQueue()
         self.history = history
+        #: observability tracer (see :mod:`repro.obs`): transaction and
+        #: operation span events.  Installed by
+        #: :func:`repro.obs.instrument.instrument_index`; ``None``
+        #: (default) costs one attribute test per seam.
+        self.tracer = None
         self._clock = clock if clock is not None else (lambda: 0.0)
         #: non-indexed attributes per object (updates touch only these)
         self.payloads: Dict[ObjectId, Any] = {}
@@ -126,17 +131,23 @@ class PhantomProtectedRTree:
     def begin(self, name: Optional[str] = None) -> Transaction:
         txn = self.txn_manager.begin(name)
         self._record(txn, OpKind.BEGIN)
+        if self.tracer is not None:
+            self.tracer.emit("txn.begin", txn=txn.txn_id, name=txn.name)
         return txn
 
     def commit(self, txn: Transaction) -> None:
         self.txn_manager.commit(txn)
         self._journal.pop(txn.txn_id, None)
         self._record(txn, OpKind.COMMIT)
+        if self.tracer is not None:
+            self.tracer.emit("txn.commit", txn=txn.txn_id)
 
     def abort(self, txn: Transaction, reason: str = "explicit abort") -> None:
         self.txn_manager.abort(txn, reason)
         self._journal.pop(txn.txn_id, None)
         self._record(txn, OpKind.ABORT)
+        if self.tracer is not None:
+            self.tracer.emit("txn.abort", txn=txn.txn_id, reason=reason)
 
     @contextmanager
     def transaction(self, name: Optional[str] = None) -> Iterator[Transaction]:
@@ -190,7 +201,7 @@ class PhantomProtectedRTree:
     ) -> InsertResult:
         """Insert an object (Table 3 rows "Insert ...")."""
         result = InsertResult()
-        with self._operation(txn, result) as ctx:
+        with self._operation(txn, result, "insert") as ctx:
             # The undo action is registered *before* the structure changes
             # and armed the moment it does, so a deadlock abort between the
             # modification and the post-split locks still rolls it back.
@@ -212,7 +223,7 @@ class PhantomProtectedRTree:
     def delete(self, txn: Transaction, oid: ObjectId, rect: Rect) -> DeleteResult:
         """Logically delete an object (§3.6); physical removal is deferred."""
         result = DeleteResult()
-        with self._operation(txn, result) as ctx:
+        with self._operation(txn, result, "delete") as ctx:
             leaf_id = self.protocol.logical_delete(ctx, oid, rect)
             result.found = leaf_id is not None
             if leaf_id is not None:
@@ -226,7 +237,7 @@ class PhantomProtectedRTree:
     def read_single(self, txn: Transaction, oid: ObjectId, rect: Rect) -> SingleResult:
         """Read one object by id (Table 3: S lock on the object only)."""
         result = SingleResult()
-        with self._operation(txn, result) as ctx:
+        with self._operation(txn, result, "read_single") as ctx:
             entry = self.protocol.lock_read_single(ctx, oid, rect)
             if entry is not None:
                 result.found = True
@@ -247,7 +258,7 @@ class PhantomProtectedRTree:
         overlapping granules, commit duration -- this is what protects the
         range from phantoms until the transaction ends)."""
         result = ScanResult()
-        with self._operation(txn, result) as ctx:
+        with self._operation(txn, result, "read_scan") as ctx:
             entries = self.protocol.execute_scan(ctx, predicate)
             result.matches = [(e.oid, e.rect, self.payloads.get(e.oid)) for e in entries]
             txn.reads += 1
@@ -261,7 +272,7 @@ class PhantomProtectedRTree:
         granule, X on the object).  Changing indexed attributes is modelled
         as delete + insert, as the paper prescribes."""
         result = SingleResult()
-        with self._operation(txn, result) as ctx:
+        with self._operation(txn, result, "update_single") as ctx:
             entry = self.protocol.lock_update_single(ctx, oid, rect)
             if entry is not None:
                 result.found = True
@@ -292,7 +303,7 @@ class PhantomProtectedRTree:
         """Update every object overlapping ``predicate`` (Table 3: SIX on
         the minimal covering granules, S on the rest, X per object)."""
         result = ScanResult()
-        with self._operation(txn, result) as ctx:
+        with self._operation(txn, result, "update_scan") as ctx:
             entries = self.protocol.lock_update_scan(ctx, predicate)
             for e in entries:
                 old = self.payloads.get(e.oid)
@@ -316,17 +327,23 @@ class PhantomProtectedRTree:
         """Physically remove one committed tombstone (§3.7), as its own
         system transaction."""
         txn = self.txn_manager.begin(name=f"vacuum-{oid}")
+        if self.tracer is not None:
+            self.tracer.emit("txn.begin", txn=txn.txn_id, name=txn.name)
         ctx = OpContext(txn.txn_id)
         try:
             report = self.protocol.physical_delete(ctx, oid, rect)
             if report is not None:
                 self.payloads.pop(oid, None)
         except DeadlockError as exc:
+            if self.tracer is not None:
+                self.tracer.emit("txn.abort", txn=txn.txn_id, reason=f"deadlock: {exc}")
             raise self.txn_manager.abort_and_raise(txn, f"deadlock: {exc}")
         finally:
             self.protocol.end_operation(ctx)
             if txn.is_active:
                 self.txn_manager.commit(txn)
+                if self.tracer is not None:
+                    self.tracer.emit("txn.commit", txn=txn.txn_id)
 
     def vacuum(self, limit: Optional[int] = None) -> int:
         """Process the deferred-delete queue; returns removals performed."""
@@ -337,13 +354,20 @@ class PhantomProtectedRTree:
     # ------------------------------------------------------------------
 
     @contextmanager
-    def _operation(self, txn: Transaction, result: OpResult) -> Iterator[OpContext]:
+    def _operation(self, txn: Transaction, result: OpResult, kind: str) -> Iterator[OpContext]:
         if not txn.is_active:
             raise TransactionAborted(txn.txn_id, txn.abort_reason or "not active")
         ctx = OpContext(txn.txn_id)
         before_reads = self.stats.physical_reads
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.next_span_id()
+            tracer.emit("op.begin", op=span, txn=txn.txn_id, kind=kind)
+        ok = False
         try:
             yield ctx
+            ok = True
         except DeadlockError as exc:
             self.lock_manager.end_operation(txn.txn_id)
             self._record(txn, OpKind.ABORT)
@@ -353,6 +377,25 @@ class PhantomProtectedRTree:
             result.lock_waits = ctx.waits
             result.restarts = ctx.restarts
             result.physical_reads = self.stats.physical_reads - before_reads
+            # Metrics-registry wiring: protocol-level lock traffic lands in
+            # the same stats bag the pager feeds, so ``snapshot()`` tells
+            # the whole story (the once-dead ``lock_waits`` in particular).
+            stats = self.stats
+            if ctx.waits:
+                stats.record_lock_wait(ctx.waits)
+            if ctx.taken:
+                stats.record_locks(m.value for _r, m, _d in ctx.taken)
+            if tracer is not None:
+                tracer.emit(
+                    "op.end",
+                    op=span,
+                    txn=txn.txn_id,
+                    kind=kind,
+                    ok=ok,
+                    waits=ctx.waits,
+                    restarts=ctx.restarts,
+                    changed_boundaries=getattr(result, "changed_boundaries", None),
+                )
             if txn.is_active:
                 self.protocol.end_operation(ctx)
 

@@ -39,10 +39,16 @@ class DeferredDeleteQueue:
         self._pending: Deque[DeferredDelete] = deque()
         self.processed = 0
         self.requeued = 0
+        #: observability tracer (see :mod:`repro.obs`): ``vacuum.enqueue``
+        #: per tombstone, ``vacuum.run`` per maintenance pass.  ``None``
+        #: (default) costs one attribute test per call.
+        self.tracer = None
 
     def enqueue(self, oid: ObjectId, rect: Rect) -> None:
         with self._mutex:
             self._pending.append(DeferredDelete(oid, rect))
+        if self.tracer is not None:
+            self.tracer.emit("vacuum.enqueue", oid=oid)
 
     def __len__(self) -> int:
         with self._mutex:
@@ -90,4 +96,8 @@ class DeferredDeleteQueue:
             with self._mutex:
                 self._pending.extend(requeue)
                 self.requeued += len(requeue)
+        if self.tracer is not None and attempts:
+            self.tracer.emit(
+                "vacuum.run", attempts=attempts, processed=done, requeued=len(requeue)
+            )
         return done

@@ -127,13 +127,25 @@ class GranuleLockProtocol:
         self.policy = policy
         #: physical-consistency latch (see module docstring)
         self.latch = threading.RLock()
-        #: stress-harness instrumentation: called with ``(tag, ctx)`` at
-        #: every yield point -- operation loop heads, restarts, and the
-        #: post-lock phase.  Every call site is OUTSIDE the latch (and all
-        #: lock-manager mutexes), so the hook may context-switch the
-        #: simulator or raise an injected fault without deadlocking the
-        #: protocol.  ``None`` (production) costs one attribute test.
-        self.yield_hook: Optional[Callable[[str, OpContext], None]] = None
+        #: stress-harness instrumentation: called with ``(tag, ctx,
+        #: resource)`` at every yield point -- operation loop heads,
+        #: restarts, and the post-lock phase.  ``ctx`` identifies the
+        #: transaction; ``resource`` is the :class:`ResourceId` whose
+        #: blocked lock want caused a restart (``None`` at plain loop-head
+        #: and post-lock yields), so observers get full context without
+        #: reverse-engineering the lock table.  Every call site is OUTSIDE
+        #: the latch (and all lock-manager mutexes), so the hook may
+        #: context-switch the simulator or raise an injected fault without
+        #: deadlocking the protocol.  ``None`` (production) costs one
+        #: attribute test.
+        self.yield_hook: Optional[
+            Callable[[str, OpContext, Optional[ResourceId]], None]
+        ] = None
+        #: observability tracer (see :mod:`repro.obs`): receives
+        #: ``op.phase`` events at every yield point and ``granule.*``
+        #: events after each structure modification.  ``None`` (default)
+        #: costs one attribute test per seam.
+        self.tracer = None
 
     @property
     def geometry_cache(self):
@@ -201,22 +213,72 @@ class GranuleLockProtocol:
         # the released short locks as still held.
         ctx.drop_short_acquired()
 
-    def _restart(self, ctx: OpContext) -> None:
+    def _restart(self, ctx: OpContext, blocked: Optional[Want] = None) -> None:
         """One operation restart: re-validate bookkeeping, then yield.
 
         Runs outside the latch.  Pruning here is the restart-path audit
         for :meth:`OpContext.holds_covering`: any short lock released out
         from under the operation (intervening ``end_operation`` during
         deadlock handling or fault injection) leaves ``acquired`` before
-        the next iteration consults it.
+        the next iteration consults it.  ``blocked`` is the lock want
+        that forced the restart; its resource travels with the yield so
+        observers see *why* the operation is starting over.
         """
         ctx.restarts += 1
         ctx.prune_dead_shorts(self.lm)
-        self._yield("restart", ctx)
+        self._yield("restart", ctx, blocked[0] if blocked is not None else None)
 
-    def _yield(self, tag: str, ctx: OpContext) -> None:
+    def _yield(self, tag: str, ctx: OpContext, resource: Optional[ResourceId] = None) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "op.phase",
+                txn=ctx.txn_id,
+                tag=tag,
+                resource=None if resource is None else repr(resource),
+            )
         if self.yield_hook is not None:
-            self.yield_hook(tag, ctx)
+            self.yield_hook(tag, ctx, resource)
+
+    def _trace_report(self, ctx: OpContext, report: SMOReport) -> None:
+        """Emit the granule-shape events of one structure modification."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+
+        def _bounds(rect) -> Optional[List[List[float]]]:
+            return None if rect is None else [list(pair) for pair in rect]
+
+        txn = ctx.txn_id
+        for g in report.growth:
+            tracer.emit(
+                "granule.grow",
+                txn=txn,
+                page=g.page_id,
+                level=g.level,
+                grew=g.grew,
+                old_mbr=_bounds(g.old_mbr),
+                new_mbr=_bounds(g.new_mbr),
+            )
+        for split in report.splits:
+            tracer.emit(
+                "granule.split",
+                txn=txn,
+                old=split.old_id,
+                left=split.left_id,
+                right=split.right_id,
+                level=split.level,
+            )
+        for page_id in report.eliminated:
+            tracer.emit("granule.eliminate", txn=txn, page=page_id)
+        for record in report.reinserted:
+            tracer.emit(
+                "granule.reinsert",
+                txn=txn,
+                oid=record.entry.oid,
+                target_page=record.target_page,
+                target_level=0,
+            )
 
     # ------------------------------------------------------------------
     # ReadScan / the shared scan-locking loop (Table 3: S on all
@@ -233,7 +295,7 @@ class GranuleLockProtocol:
                 blocked = self._acquire_conditional(ctx, wants)
                 if blocked is None:
                     return refs
-            self._restart(ctx)
+            self._restart(ctx, blocked)
             self._wait_for(ctx, blocked)
 
     def execute_scan(self, ctx: OpContext, predicate: Rect) -> List[LeafEntry]:
@@ -263,7 +325,7 @@ class GranuleLockProtocol:
                     blocked = self._acquire_conditional(ctx, object_wants)
                     if blocked is None:
                         return matches
-            self._restart(ctx)
+            self._restart(ctx, blocked)
             self._wait_for(ctx, blocked)
 
     # ------------------------------------------------------------------
@@ -289,7 +351,7 @@ class GranuleLockProtocol:
                     # The S lock excludes writers, so the tombstone state
                     # we see now is settled.
                     return None if entry.tombstone else entry
-            self._restart(ctx)
+            self._restart(ctx, blocked)
             self._wait_for(ctx, blocked)
 
     def lock_update_single(self, ctx: OpContext, oid: ObjectId, rect: Rect) -> Optional[LeafEntry]:
@@ -308,7 +370,7 @@ class GranuleLockProtocol:
                 blocked = self._acquire_conditional(ctx, wants)
                 if blocked is None:
                     return None if entry.tombstone else entry
-            self._restart(ctx)
+            self._restart(ctx, blocked)
             self._wait_for(ctx, blocked)
 
     # ------------------------------------------------------------------
@@ -364,8 +426,9 @@ class GranuleLockProtocol:
                             on_applied()
                         post = self._post_insert_wants(ctx, plan, report, inherit_from)
                         break
-            self._restart(ctx)
+            self._restart(ctx, blocked)
             self._wait_for(ctx, blocked)
+        self._trace_report(ctx, report)
         # Post-mutation locks: taken outside the latch because they may
         # wait on transactions already active inside the granule.
         self._yield("insert.post", ctx)
@@ -547,7 +610,7 @@ class GranuleLockProtocol:
                     # the object (still) does not exist: done.
                     return None
             if blocked is not None:
-                self._restart(ctx)
+                self._restart(ctx, blocked)
                 self._wait_for(ctx, blocked)
                 continue
             # Object absent: take S on all granules overlapping it ("just
@@ -597,8 +660,11 @@ class GranuleLockProtocol:
                 if blocked is None:
                     report = self.tree.delete(oid, rect, collect_orphans=True)
                     break
-            self._restart(ctx)
+            self._restart(ctx, blocked)
             self._wait_for(ctx, blocked)
+        # Trace the main modification now: the orphan re-insertions below
+        # trace their own sub-reports before they are merged in.
+        self._trace_report(ctx, report)
 
         # Re-insert every orphan under its own insert locks (§3.7: "similar
         # to an ordinary insert operation").  The short IX fences taken
@@ -654,8 +720,19 @@ class GranuleLockProtocol:
                     report = self.tree.reinsert_entry(entry, target_level)
                     post = self._post_insert_wants(ctx, plan, report, None)
                     break
-            self._restart(ctx)
+            self._restart(ctx, blocked)
             self._wait_for(ctx, blocked)
+        self._trace_report(ctx, report)
+        if target_level > 0 and self.tracer is not None:
+            # Child-entry re-insertions produce no ReinsertRecord (those
+            # are data-entry-only); emit the event directly.
+            self.tracer.emit(
+                "granule.reinsert",
+                txn=ctx.txn_id,
+                oid=None,
+                target_page=plan.leaf_id,
+                target_level=target_level,
+            )
         self._yield("reinsert.post", ctx)
         self._acquire_all(ctx, post)
         return report

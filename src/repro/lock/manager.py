@@ -44,6 +44,12 @@ from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional,
 from repro.lock.modes import LockDuration, LockMode, compatible, supremum
 from repro.lock.resource import ResourceId
 
+
+def _resource_order(resource: ResourceId) -> Tuple[str, str]:
+    """A total, process-independent order over resources (hash order is
+    per-process randomised for string keys)."""
+    return (resource.namespace.value, repr(resource.key))
+
 TxnId = Hashable
 
 #: default stripe count (overridable per manager)
@@ -255,9 +261,17 @@ class LockManager:
             raise ValueError("stripes must be >= 1")
         self.wait_strategy: WaitStrategy = wait_strategy or ThreadedWait()
         #: stress-visible wait events: called with ("enqueue" | "grant" |
-        #: "abort" | "timeout", request).  Invoked under a stripe mutex --
+        #: "abort" | "timeout", request).  The request carries the waiter's
+        #: identity (txn id, resource, mode), so observers never have to
+        #: reverse-engineer context.  Invoked under a stripe mutex --
         #: observers must only record, never block or re-enter the manager.
         self.wait_observer = wait_observer
+        #: observability sink (see :mod:`repro.obs`): called as
+        #: ``sink(event_type, **fields)`` for immediate lock decisions and
+        #: releases -- the events wait observers never see.  ``None``
+        #: (default) costs one attribute test per decision.  Like the wait
+        #: observer it may run under a stripe mutex: record only.
+        self.obs_sink: Optional[Callable[..., None]] = None
         self._stripes: List[_Stripe] = [_Stripe(i) for i in range(stripes)]
         #: guards the trace only; lock order is always stripe mutex(es)
         #: first, registry last
@@ -429,6 +443,15 @@ class LockManager:
             if held.empty():
                 del head.granted[txn_id]
             self._process_queue(stripe, head)
+        sink = self.obs_sink
+        if sink is not None:
+            sink(
+                "lock.release",
+                txn=txn_id,
+                resource=repr(resource),
+                mode=mode.value,
+                duration=duration.value,
+            )
 
     def end_operation(self, txn_id: TxnId) -> None:
         """Release every short-duration lock the transaction holds.
@@ -438,6 +461,13 @@ class LockManager:
         each Insert/Delete/Scan operation completes.
         """
         shorts = self._short_holds.pop(txn_id, [])
+        sink = self.obs_sink
+        if sink is not None and shorts:
+            sink(
+                "lock.end_op",
+                txn=txn_id,
+                resources=[[repr(resource), mode.value] for resource, mode in shorts],
+            )
         by_stripe: Dict[int, Set[ResourceId]] = {}
         for resource, _mode in shorts:
             by_stripe.setdefault(self._stripe_of(resource).index, set()).add(resource)
@@ -456,7 +486,11 @@ class LockManager:
                     if held.empty():
                         del head.granted[txn_id]
                     touched.add(resource)
-                for resource in touched:
+                # Canonical order: set iteration is hash-randomised per
+                # process, and the queue-processing order decides which
+                # waiter wakes first -- sorting keeps replays (and trace
+                # artifacts) identical across interpreter invocations.
+                for resource in sorted(touched, key=_resource_order):
                     self._process_queue(stripe, stripe.heads[resource])
 
     def release_all(self, txn_id: TxnId) -> None:
@@ -469,7 +503,9 @@ class LockManager:
         for stripe_idx in sorted(by_stripe):
             stripe = self._stripes[stripe_idx]
             with stripe.mutex:
-                for resource in by_stripe[stripe_idx]:
+                # Same canonical order as end_operation: the _txn_resources
+                # sets iterate in per-process hash order otherwise.
+                for resource in sorted(by_stripe[stripe_idx], key=_resource_order):
                     head = stripe.heads.get(resource)
                     if head is None:
                         continue
@@ -488,6 +524,9 @@ class LockManager:
                     if changed:
                         self._process_queue(stripe, head)
         self._txn_order.pop(txn_id, None)
+        sink = self.obs_sink
+        if sink is not None:
+            sink("lock.release_all", txn=txn_id)
 
     # ------------------------------------------------------------------
     # inspection
@@ -765,6 +804,17 @@ class LockManager:
         granted: bool,
         waited: bool,
     ) -> None:
+        sink = self.obs_sink
+        if sink is not None:
+            sink(
+                "lock.acquire",
+                txn=txn_id,
+                resource=repr(resource),
+                mode=mode.value,
+                duration=duration.value,
+                granted=granted,
+                waited=waited,
+            )
         if self.tracing:
             with self._registry:
                 self.trace.append(LockEvent(txn_id, resource, mode, duration, granted, waited))

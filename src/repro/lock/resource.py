@@ -10,6 +10,7 @@ whole-tree resource used by the Postgres-style baseline) disjoint.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -30,20 +31,37 @@ class Namespace(enum.Enum):
         return self.value
 
 
+#: per-namespace hash salt (computed once; CRC of the namespace name)
+_NS_SALT = {}
+
+
 @dataclass(frozen=True, eq=False)
 class ResourceId:
     """A purely physical lock name: ``(namespace, key)``.
 
     Hashing is on the hot path (the striped lock table shards by
     ``hash(resource)`` and every lock-table dict is keyed by it), so the
-    hash is computed once in ``__post_init__`` and memoised.
+    hash is computed once in ``__post_init__`` and memoised.  It is also
+    *process-independent* (CRC of the canonical repr, not Python's
+    per-process-randomised string/enum hashing): stripe assignment --
+    and therefore wake-up and deadlock-victim ordering under contention
+    -- must not change between interpreter invocations, or replays and
+    trace artifacts stop being byte-stable.
     """
 
     namespace: Namespace
     key: Hashable
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "_hash", hash((self.namespace, self.key)))
+        key = self.key
+        salt = _NS_SALT[self.namespace]
+        if type(key) is int:
+            # page ids / small ints: a Weyl-style mix is ~4x cheaper than
+            # CRC over the repr and just as stable across processes
+            h = (salt ^ (key * 0x9E3779B1)) & 0x7FFFFFFF
+        else:
+            h = zlib.crc32(repr(key).encode(), salt)
+        object.__setattr__(self, "_hash", h)
 
     def __hash__(self) -> int:
         return self._hash  # type: ignore[attr-defined]
@@ -75,3 +93,6 @@ class ResourceId:
 
     def __repr__(self) -> str:
         return f"{self.namespace.value}:{self.key}"
+
+
+_NS_SALT.update({ns: zlib.crc32(ns.value.encode()) for ns in Namespace})

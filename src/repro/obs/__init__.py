@@ -1,0 +1,51 @@
+"""Unified observability for the DGL stack.
+
+Three coordinated pieces (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` -- the metrics registry (counters, gauges,
+  fixed-bucket histograms) that backs :class:`~repro.storage.stats.IOStats`
+  and any other counter bag that wants deterministic snapshots;
+* :mod:`repro.obs.tracer` -- the ring-buffered structured event tracer
+  and the ``dgl-trace/1`` JSON-lines artifact format;
+* :mod:`repro.obs.profiler` -- the lock-contention profiler that turns a
+  trace into per-resource wait timelines, a waits-for time series, a lock
+  heatmap, latency percentiles and the paper's §3.4 boundary-change
+  fraction (CLI: ``python -m repro.obs analyze trace.jsonl``).
+
+:func:`~repro.obs.instrument.instrument_index` wires a tracer into every
+seam of a live :class:`~repro.core.index.PhantomProtectedRTree`; with no
+tracer attached every seam costs one ``is not None`` test.
+"""
+
+from repro.obs.instrument import Instrumentation, instrument_index
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+)
+from repro.obs.profiler import (
+    REPORT_SCHEMA,
+    analyze_events,
+    analyze_trace,
+    format_report,
+)
+from repro.obs.tracer import EventTracer, TRACE_SCHEMA, load_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "MetricsRegistry",
+    "EventTracer",
+    "TRACE_SCHEMA",
+    "REPORT_SCHEMA",
+    "load_jsonl",
+    "analyze_events",
+    "analyze_trace",
+    "format_report",
+    "Instrumentation",
+    "instrument_index",
+]

@@ -1,0 +1,110 @@
+"""Observability CLI: record traced workloads, analyze trace artifacts.
+
+::
+
+    python -m repro.obs record  --seed 7 --out trace.jsonl
+    python -m repro.obs analyze trace.jsonl [--json report.json] [--top 20]
+
+``record`` runs one deterministic stress-harness schedule with tracing
+enabled (the trace clock is the simulator clock, so the artifact is
+byte-stable for a given configuration) and writes a ``dgl-trace/1``
+JSON-lines file.  ``analyze`` validates the artifact against the schema
+-- any violation makes the exit code 1, which is what the CI trace-smoke
+step keys on -- and prints the lock-contention report; ``--json`` also
+writes the full structured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.profiler import analyze_trace, format_report
+from repro.obs.tracer import DEFAULT_CAPACITY, EventTracer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Structured tracing + lock-contention profiling for the DGL R-tree.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run a traced stress workload, write a trace")
+    rec.add_argument("--seed", type=int, default=0)
+    rec.add_argument("--policy", default="on-growth")
+    rec.add_argument("--workers", type=int, default=5)
+    rec.add_argument("--txns", type=int, default=2, help="transactions per worker")
+    rec.add_argument("--ops", type=int, default=4, help="operations per transaction")
+    rec.add_argument("--preload", type=int, default=60)
+    rec.add_argument("--fanout", type=int, default=5)
+    rec.add_argument("--no-faults", action="store_true")
+    rec.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
+                     help="trace ring-buffer capacity (events)")
+    rec.add_argument("--out", default="trace.jsonl", help="trace output path")
+
+    ana = sub.add_parser("analyze", help="validate + profile a dgl-trace/1 artifact")
+    ana.add_argument("trace", help="path to a dgl-trace/1 .jsonl file")
+    ana.add_argument("--json", dest="json_out", metavar="FILE",
+                     help="also write the structured report as JSON")
+    ana.add_argument("--top", type=int, default=20,
+                     help="resources listed in the heatmap/timeline sections")
+    ana.add_argument("--quiet", action="store_true",
+                     help="suppress the text report (violations still print)")
+    return parser
+
+
+def _cmd_record(args) -> int:
+    from repro.stress.faults import FaultPlan
+    from repro.stress.harness import StressConfig, run_stress
+
+    config = StressConfig(
+        seed=args.seed,
+        policy=args.policy,
+        n_workers=args.workers,
+        txns_per_worker=args.txns,
+        ops_per_txn=args.ops,
+        n_preload=args.preload,
+        fanout=args.fanout,
+        faults=FaultPlan.none() if args.no_faults else FaultPlan(),
+    )
+    tracer = EventTracer(
+        capacity=args.capacity,
+        meta={"source": "repro.stress", "seed": args.seed, "policy": args.policy},
+    )
+    result = run_stress(config, tracer=tracer)
+    written = tracer.dump_jsonl(args.out)
+    print(result.summary())
+    print(f"wrote {args.out}: {written} events ({tracer.dropped} dropped)")
+    return 0 if result.ok else 1
+
+
+def _cmd_analyze(args) -> int:
+    report, violations = analyze_trace(args.trace, top=args.top)
+    for violation in violations:
+        print(f"schema violation: {violation}", file=sys.stderr)
+    if report is not None:
+        if not args.quiet:
+            print(format_report(report))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(report, fh, indent=2, default=str)
+                fh.write("\n")
+            print(f"wrote {args.json_out}")
+    if violations:
+        print(f"{len(violations)} schema violation(s) in {args.trace}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    return _cmd_analyze(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

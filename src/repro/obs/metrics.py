@@ -1,0 +1,235 @@
+"""The metrics registry: counters, gauges and histograms.
+
+One registry replaces the scattered ad-hoc counter bags (``IOStats``
+fields, ``BufferPool.hits/misses``, per-run stress counters) with named,
+typed instruments that all snapshot to one plain dict.  Everything is
+deterministic: histograms use *fixed* bucket bounds supplied at creation
+time, so two runs of the same workload produce byte-identical snapshots
+regardless of timing noise in the observed values' order.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  ``Counter.inc`` is an attribute increment behind
+   ``__slots__``; the I/O stats layer sits on the page-fetch path and the
+   lock-grant path, so no locks, no dict lookups per increment (callers
+   bind the instrument once).
+2. **Back compatibility.**  :class:`LabeledCounter` subclasses
+   :class:`collections.Counter` so legacy call sites doing
+   ``stats.reads_per_level[level] += 1`` keep working verbatim.
+3. **Determinism.**  ``snapshot()`` orders keys by registration order and
+   contains only JSON-serialisable values.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter as _Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "WAIT_BUCKETS",
+]
+
+#: default fixed bucket bounds (seconds) for operation latencies; chosen to
+#: span both simulated clocks (integerish costs) and wall-clock seconds
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 5.0, 25.0, 100.0, 500.0
+)
+
+#: default fixed bucket bounds for lock-wait durations
+WAIT_BUCKETS: Tuple[float, ...] = (0.001, 0.01, 0.1, 1.0, 10.0, 50.0, 200.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, resident pages)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def dec(self, n: int = 1) -> None:
+        self.value -= n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """A fixed-bound histogram (deterministic across runs).
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one implicit overflow bucket catches everything larger.  The
+    exact ``sum``/``count``/``max`` are kept alongside, so means and a
+    nearest-rank percentile estimate are available without re-reading the
+    raw observations.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds!r}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile observation.
+
+        Returns the bucket's upper edge (or the recorded max for the
+        overflow bucket) -- a deterministic, conservative estimate.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return self.bounds[idx] if idx < len(self.bounds) else self.max
+        return self.max
+
+    def reset(self) -> None:
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def snapshot(self):
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.total,
+            "max": self.max,
+        }
+
+
+class LabeledCounter(_Counter):
+    """A per-label counter family (``mode -> count``, ``level -> count``).
+
+    Subclasses :class:`collections.Counter` so existing call sites that
+    index and increment (``stats.reads_per_level[level] += 1``) work
+    unchanged while the registry still snapshots/resets it by name.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def inc(self, label, n: int = 1) -> None:
+        self[label] += n
+
+    def reset(self) -> None:
+        self.clear()
+
+    def snapshot(self):
+        return dict(self)
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Creating the same name twice returns the same instrument; asking for
+    it under a different type raises.  ``snapshot()``/``reset()`` walk the
+    instruments in registration order.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        if name in self._metrics:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, tuple(bounds) if bounds else LATENCY_BUCKETS)
+
+    def labeled(self, name: str) -> LabeledCounter:
+        return self._get(name, LabeledCounter)
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Every instrument's value, keyed by name, registration order."""
+        return {name: metric.snapshot() for name, metric in self._metrics.items()}
+
+    def reset(self) -> None:
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

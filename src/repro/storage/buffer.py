@@ -34,12 +34,19 @@ class BufferPool:
         self._frames: "OrderedDict[PageId, Page]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: observability tracer (see :mod:`repro.obs`): misses -- the
+        #: physical reads the paper counts -- are emitted as
+        #: ``buffer.miss`` events; hits stay untraced (volume).  ``None``
+        #: (default) costs one attribute test per miss, nothing per hit.
+        self.tracer = None
 
     def fetch(self, page: Page, level: Optional[int] = None) -> Page:
         """Route a page access through the pool, recording hit/miss."""
         if not self.capacity:
             self.misses += 1
             self.stats.record_read(hit=False, level=level)
+            if self.tracer is not None:
+                self.tracer.emit("buffer.miss", page=page.page_id, level=level)
             return page
         pid = page.page_id
         try:
@@ -54,6 +61,8 @@ class BufferPool:
             return page
         self.misses += 1
         self.stats.record_read(hit=False, level=level)
+        if self.tracer is not None:
+            self.tracer.emit("buffer.miss", page=pid, level=level)
         self._frames[pid] = page
         while len(self._frames) > self.capacity:
             self._frames.popitem(last=False)

@@ -56,8 +56,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--artifact-dir", default=os.path.join("artifacts", "stress"))
     parser.add_argument("--replay", metavar="FILE",
                         help="re-run a saved repro artifact instead of sweeping")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record every run as a dgl-trace/1 JSONL artifact "
+                             "(multi-seed sweeps get a -seedN suffix per file); "
+                             "without this flag, only failing seeds are traced, "
+                             "via a deterministic replay next to their artifact")
     parser.add_argument("--quiet", action="store_true", help="only print failures and the summary")
     return parser
+
+
+def _traced_run(config: StressConfig, path: str):
+    """Run one stress schedule with tracing and write its JSONL sidecar."""
+    from repro.obs import EventTracer
+
+    tracer = EventTracer(meta={"source": "stress", "seed": config.seed,
+                               "policy": config.policy})
+    result = run_stress(config, tracer=tracer)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tracer.dump_jsonl(path)
+    return result
+
+
+def _trace_path(base: str, seed: int, many: bool) -> str:
+    if not many:
+        return base
+    root, ext = os.path.splitext(base)
+    return f"{root}-seed{seed}{ext or '.jsonl'}"
 
 
 def main(argv: List[str] = None) -> int:
@@ -65,7 +91,11 @@ def main(argv: List[str] = None) -> int:
 
     if args.replay:
         config, doc = load_artifact(args.replay)
-        result = run_stress(config)
+        if args.trace:
+            result = _traced_run(config, args.trace)
+            print(f"trace: {args.trace}")
+        else:
+            result = run_stress(config)
         print(result.summary())
         for violation in result.violations:
             print(f"  {violation}")
@@ -95,7 +125,12 @@ def main(argv: List[str] = None) -> int:
             fanout=args.fanout,
             faults=faults,
         )
-        result = run_stress(config)
+        if args.trace:
+            trace_path = _trace_path(args.trace, seed, many=len(args.seed) > 1)
+            result = _traced_run(config, trace_path)
+        else:
+            trace_path = None
+            result = run_stress(config)
         ran += 1
         if result.ok:
             if not args.quiet:
@@ -110,9 +145,16 @@ def main(argv: List[str] = None) -> int:
             report = minimize(config)
             minimized = report.config
             print(f"  {report.summary()}")
+        if trace_path is None:
+            # The sweep itself ran untraced (tracing is not free); replay
+            # the failing schedule deterministically with the tracer on so
+            # the artifact ships with a full event timeline.
+            trace_path = os.path.join(args.artifact_dir, f"stress-seed{seed}.trace.jsonl")
+            _traced_run(config, trace_path)
         path = os.path.join(args.artifact_dir, f"stress-seed{seed}.json")
-        save_artifact(path, result, minimized=minimized)
+        save_artifact(path, result, minimized=minimized, trace=trace_path)
         print(f"  repro artifact: {path}")
+        print(f"  trace sidecar: {trace_path}")
 
     elapsed = time.monotonic() - started
     print(f"stress sweep: {ran} seed(s), {failures} failure(s), {elapsed:.1f}s wall")

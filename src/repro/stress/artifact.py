@@ -127,11 +127,14 @@ def result_to_json(result: StressResult) -> Dict[str, Any]:
         "vacuum_passes": result.vacuum_passes,
         "yields": result.yields,
         "operations": result.operations,
+        "inserts": result.inserts,
+        "boundary_changes": result.boundary_changes,
         "sim_time": result.sim_time,
         "steps": result.steps,
         "wait_events": result.wait_events,
         "schedule_len": result.schedule_len,
         "schedule_tail": [[t, name] for t, name in result.schedule_tail],
+        "stats_snapshot": result.stats_snapshot,
     }
 
 
@@ -148,13 +151,20 @@ def save_artifact(
     path: str,
     result: StressResult,
     minimized: Optional[StressConfig] = None,
+    trace: Optional[str] = None,
 ) -> str:
-    """Write one repro artifact; returns the path written."""
+    """Write one repro artifact; returns the path written.
+
+    ``trace`` is the path of a ``dgl-trace/1`` sidecar recorded for this
+    run (the traced deterministic replay of a failure); it is referenced
+    from the artifact so the two files travel together.
+    """
     doc = {
         "schema": SCHEMA,
         "config": config_to_json(explicit_config(result.config)),
         "minimized": None if minimized is None else config_to_json(explicit_config(minimized)),
         "result": result_to_json(result),
+        "trace": trace,
     }
     directory = os.path.dirname(path)
     if directory:

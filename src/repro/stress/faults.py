@@ -122,8 +122,13 @@ class FaultInjector:
         self.rng = random.Random((seed * 2_654_435_761 + 0xFA017) % 2**63)
         self.counters = FaultCounters()
 
-    def hook(self, tag: str, ctx) -> None:
-        """The protocol yield point.  Called OUTSIDE the latch."""
+    def hook(self, tag: str, ctx, resource=None) -> None:
+        """The protocol yield point.  Called OUTSIDE the latch.
+
+        ``resource`` is the blocked resource on ``"restart"`` yields (and
+        ``None`` everywhere else); the injector ignores it but accepts it
+        so the hook matches the full yield-point signature.
+        """
         try:
             proc = self.sim.current()
         except RuntimeError:

@@ -104,8 +104,13 @@ class StressResult:
     vacuum_passes: int = 0
     yields: int = 0
     operations: int = 0
+    inserts: int = 0
+    #: successful inserts that moved a granule boundary (§3.4 numerator)
+    boundary_changes: int = 0
     sim_time: float = 0.0
     steps: int = 0
+    #: end-of-run :meth:`repro.storage.stats.IOStats.snapshot`
+    stats_snapshot: Dict[str, object] = field(default_factory=dict)
     wait_events: Dict[str, int] = field(default_factory=dict)
     schedule_len: int = 0
     #: the last dispatches before the run ended (artifact debugging aid)
@@ -170,12 +175,18 @@ def _found(op: OpCall, result) -> bool:
 def run_stress(
     config: StressConfig,
     wait_strategy_factory: Optional[Callable[[Simulator], SimulatedWait]] = None,
+    tracer=None,
 ) -> StressResult:
     """Execute one seeded stress schedule and run the oracle over it.
 
     ``wait_strategy_factory`` exists for the harness's own regression
     tests: substituting a deliberately broken strategy must make the
     oracle's invariants fire.
+
+    ``tracer`` (an :class:`repro.obs.EventTracer`) records the run as a
+    ``dgl-trace/1`` event stream; its clock is rebound to the simulator
+    clock so replaying the same config yields a byte-identical trace.
+    ``None`` (the default) leaves every seam un-instrumented.
     """
     preload = make_preload(config)
     scripts = config.scripts if config.scripts is not None else make_scripts(config, preload)
@@ -202,6 +213,11 @@ def run_stress(
     )
     injector = FaultInjector(sim, config.faults, config.seed)
     index.protocol.yield_hook = injector.hook
+    if tracer is not None:
+        from repro.obs.instrument import instrument_index
+
+        tracer.clock = lambda: sim.clock
+        instrument_index(index, tracer)
 
     with index.transaction("preload") as txn:
         for oid, rect in preload:
@@ -228,6 +244,10 @@ def run_stress(
                                 )
                             )
                             result.operations += 1
+                            if op.kind == "insert":
+                                result.inserts += 1
+                                if getattr(op_result, "changed_boundaries", False):
+                                    result.boundary_changes += 1
                             cost = op_result.physical_reads * 2.0 + 1.0 + op.think
                             sim.checkpoint(cost)
                         index.commit(txn)
@@ -300,4 +320,5 @@ def run_stress(
     result.wait_events = dict(wait_events)
     result.schedule_len = len(sim.schedule)
     result.schedule_tail = sim.schedule[-50:]
+    result.stats_snapshot = index.stats.snapshot()
     return result

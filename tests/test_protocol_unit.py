@@ -117,7 +117,7 @@ class TestDeadShortPruning:
         index = PhantomProtectedRTree(RTreeConfig(max_entries=4, universe=TEN))
         protocol = GranuleLockProtocol(index.tree, lm)
         seen = []
-        protocol.yield_hook = lambda tag, ctx: seen.append(tag)
+        protocol.yield_hook = lambda tag, ctx, resource=None: seen.append(tag)
         ctx = OpContext("t")
         protocol._restart(ctx)
         assert seen == ["restart"]
