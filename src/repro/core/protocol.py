@@ -46,6 +46,73 @@ Want = Tuple[ResourceId, LockMode, LockDuration]
 S, X, IX, SIX = LockMode.S, LockMode.X, LockMode.IX, LockMode.SIX
 SHORT, COMMIT = LockDuration.SHORT, LockDuration.COMMIT
 
+#: Table 3, one row per operation kind: every (namespace, mode, duration)
+#: triple the protocol may legitimately request while executing that kind
+#: (including the post-split and inherited-coverage variants).  This is
+#: the single source of truth for lock-pattern conformance -- the stress
+#: oracle checks recorded operations against it post hoc and the online
+#: auditor (:mod:`repro.obs.auditor`) checks the live event stream
+#: against it, so a protocol change that widens a row updates both at
+#: once.  Keys are the operation-kind strings carried by ``op.begin``
+#: events; ``physical_delete`` covers the §3.7 deferred-delete system
+#: transactions, which run outside operation spans.
+TABLE3_ALLOWED: dict = {
+    "read_scan": {("leaf", S, COMMIT), ("ext", S, COMMIT)},
+    "read_single": {("obj", S, COMMIT)},
+    "update_single": {("leaf", IX, COMMIT), ("obj", X, COMMIT)},
+    "update_scan": {
+        ("leaf", SIX, COMMIT),
+        ("ext", SIX, COMMIT),
+        ("leaf", S, COMMIT),
+        ("ext", S, COMMIT),
+        ("obj", X, COMMIT),
+    },
+    "insert": {
+        ("leaf", IX, COMMIT),
+        ("obj", X, COMMIT),
+        # short fences: target SIX before a split, policy IX overlap set,
+        # SIX on deforming external granules
+        ("leaf", SIX, SHORT),
+        ("leaf", IX, SHORT),
+        ("ext", IX, SHORT),
+        ("ext", SIX, SHORT),
+        # post-split / inherited coverage
+        ("leaf", SIX, COMMIT),
+        ("leaf", S, COMMIT),
+        ("ext", S, COMMIT),
+    },
+    # logical delete; the absent path degenerates to a ReadScan
+    "delete": {
+        ("leaf", IX, COMMIT),
+        ("obj", X, COMMIT),
+        ("leaf", S, COMMIT),
+        ("ext", S, COMMIT),
+    },
+    # Table 3 "Delete (Deferred)": elimination fences, orphan-reinsertion
+    # fences, and the ordinary-insert locks of §3.7 re-insertions
+    # (including their post-split rows).
+    "physical_delete": {
+        ("leaf", IX, SHORT),
+        ("leaf", SIX, SHORT),
+        ("ext", IX, SHORT),
+        ("ext", SIX, SHORT),
+        ("obj", X, COMMIT),
+        ("leaf", IX, COMMIT),
+        ("leaf", SIX, COMMIT),
+        ("leaf", S, COMMIT),
+        ("ext", S, COMMIT),
+    },
+}
+
+#: object-lock mode each operation must hold on its target when it finds
+#: it (the "first touch takes the object lock" rule of Table 3)
+TABLE3_REQUIRED_OBJ_MODE: dict = {
+    "insert": X,
+    "delete": X,
+    "update_single": X,
+    "read_single": S,
+}
+
 
 @dataclass
 class OpContext:

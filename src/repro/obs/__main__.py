@@ -1,9 +1,14 @@
-"""Observability CLI: record traced workloads, analyze trace artifacts.
+"""Observability CLI: record, analyze, audit, diff and render traces.
 
 ::
 
-    python -m repro.obs record  --seed 7 --out trace.jsonl
-    python -m repro.obs analyze trace.jsonl [--json report.json] [--top 20]
+    python -m repro.obs record   --seed 7 --out trace.jsonl
+    python -m repro.obs analyze  trace.jsonl [--json report.json] [--top 20]
+    python -m repro.obs monitor  trace.jsonl            # audit a recording
+    python -m repro.obs monitor  --seed 7 --dump fail.jsonl   # live audit
+    python -m repro.obs critpath trace.jsonl [--top 10]
+    python -m repro.obs diff     A B [--fail-on any] [--fail-on wait_p99=0.5]
+    python -m repro.obs render   trace.jsonl --out dashboard.html
 
 ``record`` runs one deterministic stress-harness schedule with tracing
 enabled (the trace clock is the simulator clock, so the artifact is
@@ -11,18 +16,36 @@ byte-stable for a given configuration) and writes a ``dgl-trace/1``
 JSON-lines file.  ``analyze`` validates the artifact against the schema
 -- any violation makes the exit code 1, which is what the CI trace-smoke
 step keys on -- and prints the lock-contention report; ``--json`` also
-writes the full structured report.
+writes the full structured report.  ``monitor`` runs the online protocol
+auditor: over a recorded trace, or live (flight-recorder mode) when given
+workload flags instead of a trace; a dirty verdict exits 1.  ``critpath``
+prints per-transaction latency forensics.  ``diff`` compares two reports
+(or traces) and can gate CI via ``--fail-on``.  ``render`` writes the
+self-contained HTML dashboard -- byte-identical across runs for the same
+deterministic trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 from repro.obs.profiler import analyze_trace, format_report
 from repro.obs.tracer import DEFAULT_CAPACITY, EventTracer
+
+
+def _add_workload_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--policy", default="on-growth")
+    parser.add_argument("--workers", type=int, default=5)
+    parser.add_argument("--txns", type=int, default=2, help="transactions per worker")
+    parser.add_argument("--ops", type=int, default=4, help="operations per transaction")
+    parser.add_argument("--preload", type=int, default=60)
+    parser.add_argument("--fanout", type=int, default=5)
+    parser.add_argument("--no-faults", action="store_true")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,14 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     rec = sub.add_parser("record", help="run a traced stress workload, write a trace")
-    rec.add_argument("--seed", type=int, default=0)
-    rec.add_argument("--policy", default="on-growth")
-    rec.add_argument("--workers", type=int, default=5)
-    rec.add_argument("--txns", type=int, default=2, help="transactions per worker")
-    rec.add_argument("--ops", type=int, default=4, help="operations per transaction")
-    rec.add_argument("--preload", type=int, default=60)
-    rec.add_argument("--fanout", type=int, default=5)
-    rec.add_argument("--no-faults", action="store_true")
+    _add_workload_flags(rec)
     rec.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
                      help="trace ring-buffer capacity (events)")
     rec.add_argument("--out", default="trace.jsonl", help="trace output path")
@@ -53,14 +69,56 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resources listed in the heatmap/timeline sections")
     ana.add_argument("--quiet", action="store_true",
                      help="suppress the text report (violations still print)")
+
+    mon = sub.add_parser(
+        "monitor",
+        help="run the online protocol auditor (over a trace, or live with "
+             "workload flags)",
+    )
+    mon.add_argument("trace", nargs="?", default=None,
+                     help="recorded dgl-trace/1 artifact to audit; omit to "
+                          "run a live flight-recorded workload instead")
+    _add_workload_flags(mon)
+    mon.add_argument("--capacity", type=int, default=4096,
+                     help="flight-recorder ring capacity (live mode)")
+    mon.add_argument("--dump", metavar="FILE", default=None,
+                     help="live mode: dump the ring + verdict here on the "
+                          "first violation")
+    mon.add_argument("--json", dest="json_out", metavar="FILE",
+                     help="also write the audit verdict as JSON")
+    mon.add_argument("--max-violations", type=int, default=50)
+
+    crit = sub.add_parser("critpath",
+                          help="per-transaction critical-path forensics")
+    crit.add_argument("trace", help="path to a dgl-trace/1 .jsonl file")
+    crit.add_argument("--json", dest="json_out", metavar="FILE",
+                      help="also write the structured report as JSON")
+    crit.add_argument("--top", type=int, default=10,
+                      help="transactions / blockers listed")
+
+    dif = sub.add_parser("diff", help="diff two trace reports (or traces)")
+    dif.add_argument("a", help="baseline: dgl-trace-report/1 JSON or dgl-trace/1 JSONL")
+    dif.add_argument("b", help="candidate: same formats as the baseline")
+    dif.add_argument("--fail-on", action="append", default=[], metavar="SPEC",
+                     help="exit 1 on drift: 'any', or metric=limit "
+                          "(boundary_fraction, lock_count, waits, wait_p50/90/99, "
+                          "latency_p50/90/99); repeatable")
+    dif.add_argument("--json", dest="json_out", metavar="FILE",
+                     help="also write the structured diff as JSON")
+
+    ren = sub.add_parser("render",
+                         help="render a self-contained HTML dashboard from a trace")
+    ren.add_argument("trace", help="path to a dgl-trace/1 .jsonl file")
+    ren.add_argument("--out", default="dashboard.html", help="HTML output path")
+    ren.add_argument("--title", default=None, help="dashboard title override")
     return parser
 
 
-def _cmd_record(args) -> int:
+def _workload_config(args):
     from repro.stress.faults import FaultPlan
-    from repro.stress.harness import StressConfig, run_stress
+    from repro.stress.harness import StressConfig
 
-    config = StressConfig(
+    return StressConfig(
         seed=args.seed,
         policy=args.policy,
         n_workers=args.workers,
@@ -70,11 +128,16 @@ def _cmd_record(args) -> int:
         fanout=args.fanout,
         faults=FaultPlan.none() if args.no_faults else FaultPlan(),
     )
+
+
+def _cmd_record(args) -> int:
+    from repro.stress.harness import run_stress
+
     tracer = EventTracer(
         capacity=args.capacity,
         meta={"source": "repro.stress", "seed": args.seed, "policy": args.policy},
     )
-    result = run_stress(config, tracer=tracer)
+    result = run_stress(_workload_config(args), tracer=tracer)
     written = tracer.dump_jsonl(args.out)
     print(result.summary())
     print(f"wrote {args.out}: {written} events ({tracer.dropped} dropped)")
@@ -86,6 +149,13 @@ def _cmd_analyze(args) -> int:
     for violation in violations:
         print(f"schema violation: {violation}", file=sys.stderr)
     if report is not None:
+        if report.get("truncated"):
+            print(
+                f"warning: {args.trace} is truncated (ring dropped "
+                f"{report['source']['dropped']} event(s)); the profile covers "
+                f"only the tail of the run",
+                file=sys.stderr,
+            )
         if not args.quiet:
             print(format_report(report))
         if args.json_out:
@@ -99,12 +169,135 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from repro.obs.auditor import FlightRecorder, ProtocolAuditor, format_verdict
+    from repro.obs.tracer import load_jsonl
+
+    if args.trace is not None:
+        header, events, violations = load_jsonl(args.trace)
+        for violation in violations:
+            print(f"schema violation: {violation}", file=sys.stderr)
+        if not header:
+            return 1
+        if int(header.get("dropped") or 0):
+            print(
+                f"warning: {args.trace} is truncated -- the auditor needs the "
+                f"full stream; verdicts over a wrapped ring are unreliable",
+                file=sys.stderr,
+            )
+        auditor = ProtocolAuditor(max_violations=args.max_violations)
+        auditor.replay(events)
+        verdict = auditor.verdict()
+    else:
+        from repro.stress.harness import run_stress
+
+        recorder = FlightRecorder(
+            capacity=args.capacity,
+            meta={"source": "repro.stress", "seed": args.seed, "policy": args.policy},
+            dump_path=args.dump,
+            max_violations=args.max_violations,
+        )
+        result = run_stress(_workload_config(args), tracer=recorder.tracer)
+        print(result.summary())
+        if recorder.dumped:
+            print(f"first violation dumped to {recorder.dumped} "
+                  f"(+ {recorder.dumped}.verdict.json)")
+        verdict = recorder.auditor.verdict()
+
+    print(format_verdict(verdict))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(verdict, fh, indent=2, default=str, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0 if verdict["clean"] else 1
+
+
+def _cmd_critpath(args) -> int:
+    from repro.obs.critical_path import critical_path_from_trace, format_critical_path
+
+    report, violations = critical_path_from_trace(args.trace, top=args.top)
+    for violation in violations:
+        print(f"schema violation: {violation}", file=sys.stderr)
+    if report is None:
+        return 1
+    if report.get("truncated"):
+        print(
+            f"warning: {args.trace} is truncated; critical paths cover only "
+            f"the tail of the run",
+            file=sys.stderr,
+        )
+    print(format_critical_path(report))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 1 if violations else 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import check_thresholds, diff_reports, format_diff, load_report
+
+    try:
+        report_a = load_report(args.a)
+        report_b = load_report(args.b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_reports(report_a, report_b)
+    print(format_diff(diff))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(diff, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    failures, errors = check_thresholds(diff, args.fail_on)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    for failure in failures:
+        print(f"fail-on: {failure}", file=sys.stderr)
+    if errors:
+        return 2
+    return 1 if failures else 0
+
+
+def _cmd_render(args) -> int:
+    from repro.obs.render import render_from_trace
+
+    try:
+        html, violations = render_from_trace(args.trace, title=args.title)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(f"schema violation: {violation}", file=sys.stderr)
+    with open(args.out, "w") as fh:
+        fh.write(html)
+    print(f"wrote {args.out} ({len(html)} bytes)")
+    return 1 if violations else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "record":
         return _cmd_record(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
+    if args.command == "critpath":
+        return _cmd_critpath(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "render":
+        return _cmd_render(args)
     return _cmd_analyze(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); exit quietly like a
+        # well-behaved unix filter instead of tracebacking
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)

@@ -1,0 +1,537 @@
+"""The online protocol auditor: streaming Table-3 conformance checking.
+
+Where the stress oracle (:mod:`repro.stress.oracle`) re-examines a run
+*after* it completes, the auditor checks the ``dgl-trace/1`` event stream
+*as it is emitted*: attach it as a sink on the tracer
+(``tracer.add_sink(auditor.on_event)``) and every event is validated
+against the protocol's invariants the moment it happens.  The rules, in
+the order a failing event trips them:
+
+``wait-discipline``
+    Every ``lock.grant`` / ``lock.abort`` / ``lock.timeout`` must close a
+    matching ``lock.enqueue`` (same transaction, resource, mode), and a
+    transaction never has two open waits on one resource.
+``release-unheld``
+    ``lock.release`` may only release a lock unit the transaction holds;
+    every ``(resource, mode)`` a ``lock.end_op`` claims to drop must be a
+    held short-duration unit.
+``2pl``
+    Commit-duration locks are strict two-phase: they are never released
+    before ``lock.release_all``, no lock survives ``release_all``, and a
+    terminated transaction acquires nothing further.
+``short-outlives-op``
+    Table 3's short-duration fences die with their operation: a
+    transaction entering a new operation span (or reaching
+    ``release_all``) while still holding short-duration locks leaked a
+    fence.
+``pattern``
+    Every lock *request* (immediate acquire, conditional denial, or
+    enqueue) inside an operation span must be a
+    ``(namespace, mode, duration)`` triple Table 3 allows for that span's
+    kind -- checked against :data:`repro.core.protocol.TABLE3_ALLOWED`,
+    the same table the protocol implements and the stress oracle checks.
+    Locks requested outside any span are allowed only for §3.7 vacuum
+    system transactions (the ``physical_delete`` row).
+``fence``
+    The §3.3/§3.4 growth fences: when a granule's boundary grows, the
+    growing transaction must at that moment hold a short SIX on the
+    deformed external granule (level > 0) or a write-intent lock on the
+    grown leaf (level 0); a leaf split requires the §3.5 SIX on the
+    pre-split granule.  This is the rule the paper's naive policy (§3.2)
+    breaks -- a NAIVE-policy insert that moves boundaries trips it on the
+    first ``granule.grow``.
+
+The auditor is stateless about geometry -- it never touches the tree, the
+lock manager, or any mutex -- so it is safe to run from the tracer's sink
+position (which may be under a lock-manager stripe mutex) and costs a few
+dict operations per event.
+
+Flight-recorder mode (:class:`FlightRecorder`) pairs the auditor with a
+small bounded ring so it can stay attached during whole stress sweeps at
+near-zero memory cost: the auditor sees *every* event as it is emitted
+(sinks run before the ring overwrites), and on the first violation the
+ring -- the last ``capacity`` events of context -- is dumped next to the
+violation verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.obs.tracer import EventTracer
+
+AUDIT_SCHEMA = "dgl-audit/1"
+
+__all__ = ["AUDIT_SCHEMA", "AuditViolation", "ProtocolAuditor", "FlightRecorder"]
+
+#: modes whose privileges include SIX (fence an external-granule deform)
+_SIX_OR_STRONGER = ("SIX", "X")
+#: modes carrying write intent on a leaf granule
+_WRITE_INTENT = ("IX", "SIX", "X")
+
+
+def _stringify_table(table) -> Dict[str, frozenset]:
+    """Pre-compute Table 3 as string triples (events carry strings)."""
+    return {
+        kind: frozenset((ns, mode.value, dur.value) for ns, mode, dur in rows)
+        for kind, rows in table.items()
+    }
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One auditor finding, anchored to the event that tripped it."""
+
+    rule: str
+    seq: int
+    txn: object
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] seq {self.seq} txn {self.txn!r}: {self.detail}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "seq": self.seq,
+            "txn": self.txn,
+            "detail": self.detail,
+        }
+
+
+class ProtocolAuditor:
+    """Streaming Table-3 / 2PL conformance checker over trace events.
+
+    Feed it events via :meth:`on_event` (directly, or by attaching it as a
+    tracer sink); read the result from :attr:`violations` /
+    :meth:`verdict`.  ``max_violations`` bounds memory on a badly broken
+    run -- further findings are counted, not stored.  ``on_violation``,
+    when set, is called with each recorded violation as it is found (the
+    flight recorder uses it for first-failure dumping).
+    """
+
+    def __init__(
+        self,
+        max_violations: int = 50,
+        table=None,
+        on_violation: Optional[Callable[[AuditViolation], None]] = None,
+    ) -> None:
+        self.max_violations = max_violations
+        self.on_violation = on_violation
+        if table is None:
+            # imported lazily: repro.obs loads during repro.core's own
+            # initialisation (storage.stats pulls the metrics registry),
+            # so the protocol table cannot be a module-level import here
+            from repro.core.protocol import TABLE3_ALLOWED as table
+        self._allowed = _stringify_table(table)
+        self.violations: List[AuditViolation] = []
+        self.suppressed = 0  # findings beyond max_violations
+        self.events_seen = 0
+        self.locks_checked = 0
+        #: txn -> (resource, mode, duration) -> held units
+        self._held: Dict[object, Dict[Tuple[str, str, str], int]] = {}
+        #: (txn, resource) -> (mode, duration) of the open wait
+        self._waits: Dict[Tuple[object, str], Tuple[str, str]] = {}
+        #: txn -> open operation span {"op", "kind"}
+        self._ops: Dict[object, Dict[str, object]] = {}
+        self._names: Dict[object, object] = {}
+        self._ended: Set[object] = set()
+        self._aborted: Set[object] = set()
+
+    # -- outcome -------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.suppressed
+
+    def verdict(self) -> Dict[str, object]:
+        """The audit verdict document (schema ``dgl-audit/1``)."""
+        return {
+            "schema": AUDIT_SCHEMA,
+            "clean": self.ok,
+            "events": self.events_seen,
+            "locks_checked": self.locks_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "suppressed_violations": self.suppressed,
+            "open_waits": len(self._waits),
+            "open_operations": len(self._ops),
+        }
+
+    def _flag(self, rule: str, event: Dict[str, object], detail: str) -> None:
+        if len(self.violations) >= self.max_violations:
+            self.suppressed += 1
+            return
+        violation = AuditViolation(
+            rule, int(event.get("seq", -1)), event.get("txn"), detail
+        )
+        self.violations.append(violation)
+        if self.on_violation is not None:
+            self.on_violation(violation)
+
+    # -- lock bookkeeping ----------------------------------------------
+
+    def _hold_add(self, txn, resource: str, mode: str, duration: str) -> None:
+        held = self._held.setdefault(txn, {})
+        key = (resource, mode, duration)
+        held[key] = held.get(key, 0) + 1
+
+    def _hold_drop(self, txn, resource: str, mode: str, duration: str) -> bool:
+        held = self._held.get(txn)
+        if not held:
+            return False
+        key = (resource, mode, duration)
+        count = held.get(key, 0)
+        if count <= 0:
+            return False
+        if count == 1:
+            del held[key]
+        else:
+            held[key] = count - 1
+        return True
+
+    def _held_shorts(self, txn) -> List[Tuple[str, str, str]]:
+        return [k for k in self._held.get(txn, ()) if k[2] == "short"]
+
+    def _holds_mode_on(self, txn, resource: str, modes: Tuple[str, ...]) -> bool:
+        held = self._held.get(txn)
+        if not held:
+            return False
+        return any(r == resource and m in modes for (r, m, _d) in held)
+
+    # -- Table 3 pattern -----------------------------------------------
+
+    def _check_pattern(self, event: Dict[str, object]) -> None:
+        txn = event.get("txn")
+        resource = str(event.get("resource"))
+        mode = str(event.get("mode"))
+        duration = str(event.get("duration"))
+        self.locks_checked += 1
+        span = self._ops.get(txn)
+        if span is not None:
+            kind = str(span["kind"])
+        else:
+            name = self._names.get(txn)
+            if name is None:
+                return  # transaction predates attachment: cannot classify
+            if isinstance(name, str) and name.startswith("vacuum-"):
+                kind = "physical_delete"
+            else:
+                self._flag(
+                    "pattern",
+                    event,
+                    f"lock request ({resource}, {mode}, {duration}) outside "
+                    f"any operation span",
+                )
+                return
+        allowed = self._allowed.get(kind)
+        if allowed is None:
+            self._flag("pattern", event, f"unknown operation kind {kind!r}")
+            return
+        namespace = resource.split(":", 1)[0]
+        if (namespace, mode, duration) not in allowed:
+            self._flag(
+                "pattern",
+                event,
+                f"({namespace}, {mode}, {duration}) on {resource} is outside "
+                f"the Table 3 row for {kind}",
+            )
+
+    # -- event dispatch ------------------------------------------------
+
+    def on_event(self, event: Dict[str, object]) -> None:
+        """Check one trace event (tracer-sink compatible)."""
+        self.events_seen += 1
+        etype = event.get("type")
+        txn = event.get("txn")
+
+        if etype == "lock.acquire":
+            self._check_pattern(event)
+            if event.get("granted"):
+                resource = str(event.get("resource"))
+                mode = str(event.get("mode"))
+                duration = str(event.get("duration"))
+                if txn in self._ended:
+                    self._flag(
+                        "2pl",
+                        event,
+                        f"lock acquired on {resource} after release_all",
+                    )
+                if event.get("waited"):
+                    # The grant event already accounted the hold; verify it.
+                    if (resource, mode, duration) not in self._held.get(txn, {}):
+                        self._flag(
+                            "wait-discipline",
+                            event,
+                            f"waited acquire of ({mode}, {duration}) on "
+                            f"{resource} has no preceding grant",
+                        )
+                else:
+                    self._hold_add(txn, resource, mode, duration)
+
+        elif etype == "lock.enqueue":
+            self._check_pattern(event)
+            resource = str(event.get("resource"))
+            key = (txn, resource)
+            if key in self._waits:
+                self._flag(
+                    "wait-discipline",
+                    event,
+                    f"enqueue on {resource} while an earlier wait on it is "
+                    f"still open",
+                )
+            self._waits[key] = (str(event.get("mode")), str(event.get("duration")))
+
+        elif etype in ("lock.grant", "lock.abort", "lock.timeout"):
+            resource = str(event.get("resource"))
+            mode = str(event.get("mode"))
+            duration = str(event.get("duration"))
+            wait = self._waits.pop((txn, resource), None)
+            if wait is None:
+                self._flag(
+                    "wait-discipline",
+                    event,
+                    f"{etype} of ({mode}, {duration}) on {resource} without "
+                    f"an open enqueue",
+                )
+            elif wait != (mode, duration):
+                self._flag(
+                    "wait-discipline",
+                    event,
+                    f"{etype} of ({mode}, {duration}) on {resource} but the "
+                    f"open wait asked for {wait}",
+                )
+            if etype == "lock.grant":
+                if txn in self._ended:
+                    self._flag(
+                        "2pl",
+                        event,
+                        f"lock granted on {resource} after release_all",
+                    )
+                self._hold_add(txn, resource, mode, duration)
+
+        elif etype == "lock.release":
+            resource = str(event.get("resource"))
+            mode = str(event.get("mode"))
+            duration = str(event.get("duration"))
+            if duration == "commit":
+                self._flag(
+                    "2pl",
+                    event,
+                    f"commit-duration ({mode}) lock on {resource} released "
+                    f"before transaction end",
+                )
+            if not self._hold_drop(txn, resource, mode, duration):
+                self._flag(
+                    "release-unheld",
+                    event,
+                    f"release of ({mode}, {duration}) on {resource} not "
+                    f"backed by a held unit",
+                )
+
+        elif etype == "lock.end_op":
+            for released in event.get("resources") or ():
+                resource, mode = released[0], released[1]
+                if not self._hold_drop(txn, str(resource), str(mode), "short"):
+                    self._flag(
+                        "release-unheld",
+                        event,
+                        f"end_op drops short ({mode}) on {resource} not "
+                        f"backed by a held unit",
+                    )
+
+        elif etype == "lock.release_all":
+            # An aborted transaction (txn.abort precedes its release_all)
+            # may die mid-operation -- e.g. a vacuum system transaction
+            # picked as a deadlock victim while holding its §3.7 fences --
+            # and release_all is exactly the sweep that reclaims them.
+            # Only a *non-aborted* transaction carrying shorts into
+            # release_all leaked an operation fence.
+            shorts = self._held_shorts(txn)
+            if shorts and txn not in self._aborted:
+                self._flag(
+                    "short-outlives-op",
+                    event,
+                    f"{len(shorts)} short-duration lock(s) still held at "
+                    f"release_all (first: {shorts[0][:2]})",
+                )
+            self._held.pop(txn, None)
+            stale = [k for k in self._waits if k[0] == txn]
+            for key in stale:
+                del self._waits[key]
+            if stale:
+                self._flag(
+                    "wait-discipline",
+                    event,
+                    f"{len(stale)} wait(s) still open at release_all",
+                )
+            self._ended.add(txn)
+
+        elif etype == "op.begin":
+            if txn in self._ops:
+                self._flag(
+                    "span",
+                    event,
+                    f"op.begin ({event.get('kind')}) while span "
+                    f"{self._ops[txn].get('op')} is still open",
+                )
+            shorts = self._held_shorts(txn)
+            if shorts:
+                self._flag(
+                    "short-outlives-op",
+                    event,
+                    f"entering a new operation with {len(shorts)} short "
+                    f"lock(s) still held (first: {shorts[0][:2]})",
+                )
+            self._ops[txn] = {"op": event.get("op"), "kind": event.get("kind")}
+
+        elif etype == "op.end":
+            if self._ops.pop(txn, None) is None:
+                self._flag("span", event, "op.end without a matching op.begin")
+
+        elif etype == "txn.begin":
+            self._names[txn] = event.get("name")
+
+        elif etype == "txn.commit":
+            # commit order is release_all -> txn.commit, so anything still
+            # "held" here escaped the release sweep
+            leftover = self._held.get(txn)
+            if leftover:
+                self._flag(
+                    "2pl",
+                    event,
+                    f"{sum(leftover.values())} lock unit(s) survive {etype} "
+                    f"(first: {next(iter(leftover))})",
+                )
+
+        elif etype == "txn.abort":
+            # abort order is txn.abort -> release_all: locks are still
+            # legitimately held at this event, so no leftover check here
+            self._aborted.add(txn)
+
+        elif etype == "granule.grow":
+            if event.get("grew"):
+                level = int(event.get("level") or 0)
+                page = event.get("page")
+                if level > 0:
+                    if not self._holds_mode_on(txn, f"ext:{page}", _SIX_OR_STRONGER):
+                        self._flag(
+                            "fence",
+                            event,
+                            f"external granule ext:{page} grew without the "
+                            f"grower holding SIX on it (§3.3 fence)",
+                        )
+                else:
+                    if not self._holds_mode_on(txn, f"leaf:{page}", _WRITE_INTENT):
+                        self._flag(
+                            "fence",
+                            event,
+                            f"leaf granule leaf:{page} grew without the grower "
+                            f"holding a write-intent lock on it",
+                        )
+
+        elif etype == "granule.split":
+            if int(event.get("level") or 0) == 0:
+                old = event.get("old")
+                if not self._holds_mode_on(txn, f"leaf:{old}", _SIX_OR_STRONGER):
+                    self._flag(
+                        "fence",
+                        event,
+                        f"leaf:{old} split without the splitter holding the "
+                        f"§3.5 SIX on the pre-split granule",
+                    )
+
+    def replay(self, events) -> "ProtocolAuditor":
+        """Feed a whole (already recorded) event list through the auditor."""
+        for event in events:
+            self.on_event(event)
+        return self
+
+    def __repr__(self) -> str:
+        state = "clean" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"ProtocolAuditor({self.events_seen} events, {state})"
+
+
+def format_verdict(verdict: Dict[str, object], max_rows: int = 20) -> str:
+    """Terminal rendering of a ``dgl-audit/1`` verdict."""
+    lines = [
+        f"audit: {'CLEAN' if verdict['clean'] else 'VIOLATIONS FOUND'} "
+        f"({verdict['events']} events, {verdict['locks_checked']} lock "
+        f"requests checked)"
+    ]
+    for row in verdict["violations"][:max_rows]:
+        lines.append(
+            f"  [{row['rule']}] seq {row['seq']} txn {row['txn']!r}: {row['detail']}"
+        )
+    hidden = len(verdict["violations"]) - max_rows
+    if hidden > 0:
+        lines.append(f"  ... {hidden} further violation(s)")
+    if verdict["suppressed_violations"]:
+        lines.append(
+            f"  ... {verdict['suppressed_violations']} violation(s) beyond "
+            f"the recording cap"
+        )
+    return "\n".join(lines)
+
+
+class FlightRecorder:
+    """A bounded event ring plus the online auditor, as one attachable unit.
+
+    Intended for standing deployment (the stress sweep runs every seed
+    with one attached): the ring bounds memory, the auditor streams, and
+    on the *first* violation the last ``capacity`` events plus the
+    verdict-so-far are dumped to ``dump_path`` (when set), preserving the
+    context that would otherwise be overwritten before anyone looked.
+    """
+
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        meta: Optional[Dict[str, object]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        dump_path: Optional[str] = None,
+        max_violations: int = 50,
+    ) -> None:
+        self.tracer = EventTracer(capacity=capacity, clock=clock, meta=meta)
+        self.auditor = ProtocolAuditor(
+            max_violations=max_violations, on_violation=self._on_violation
+        )
+        self.tracer.add_sink(self.auditor.on_event)
+        self.dump_path = dump_path
+        self.dumped: Optional[str] = None
+        self._handle = None
+
+    @property
+    def ok(self) -> bool:
+        return self.auditor.ok
+
+    def attach(self, index) -> "FlightRecorder":
+        from repro.obs.instrument import instrument_index
+
+        self._handle = instrument_index(index, self.tracer)
+        return self
+
+    def detach(self) -> None:
+        if self._handle is not None:
+            self._handle.detach()
+            self._handle = None
+
+    def _on_violation(self, violation: AuditViolation) -> None:
+        if self.dump_path is not None and self.dumped is None:
+            self.dump(self.dump_path)
+
+    def dump(self, path: str) -> str:
+        """Write the ring as a trace plus ``<path>.verdict.json``."""
+        self.dumped = path
+        self.tracer.dump_jsonl(path)
+        verdict_path = path + ".verdict.json"
+        with open(verdict_path, "w") as fh:
+            json.dump(self.auditor.verdict(), fh, indent=2, default=str, sort_keys=True)
+            fh.write("\n")
+        return verdict_path
+
+    def __repr__(self) -> str:
+        return f"FlightRecorder({self.tracer!r}, {self.auditor!r})"

@@ -1,0 +1,301 @@
+"""Diffing two contention reports (``dgl-trace-report/1``).
+
+``obs diff A B`` compares two runs -- a before/after pair across a code
+change, two policies on one seed, or two recordings of the same seed
+(where the diff must be empty: the trace pipeline is deterministic).
+Inputs may be trace artifacts (``.jsonl``, analyzed on the fly) or
+already-analyzed report JSON; the differ itself works on reports.
+
+The diff (schema ``dgl-trace-diff/1``) covers the drift that matters for
+the paper's claims:
+
+* **heatmap deltas** -- per-resource acquisition/wait/wait-time changes,
+  plus resources that newly appeared or vanished from the hot set;
+* **percentile shifts** -- per-operation-kind latency p50/p90/p99 and the
+  global wait-time percentiles, as (a, b, delta) triples;
+* **lock-count drift** -- total acquisitions and wait outcomes;
+* **boundary-change-fraction drift** -- the §3.4 share of inserts that
+  moved granule boundaries;
+* transaction / SMO / vacuum / buffer counter drift.
+
+``check_thresholds`` turns a diff plus ``--fail-on`` specs into CI
+failures: ``any`` fails on every nonzero delta (the determinism gate),
+``metric=limit`` fails when that metric's absolute drift exceeds the
+limit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+DIFF_SCHEMA = "dgl-trace-diff/1"
+REPORT_SCHEMA = "dgl-trace-report/1"
+
+#: --fail-on metrics: name -> how to read its absolute drift off a diff
+_METRIC_HELP = (
+    "any | boundary_fraction | lock_count | waits | wait_p50 | wait_p90 | "
+    "wait_p99 | latency_p50 | latency_p90 | latency_p99"
+)
+
+
+def _num(value) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _delta(a, b) -> Dict[str, float]:
+    av, bv = _num(a), _num(b)
+    return {"a": av, "b": bv, "delta": round(bv - av, 6)}
+
+
+def _delta_map(a: Dict, b: Dict, keys: Sequence[str]) -> Dict[str, Dict[str, float]]:
+    return {k: _delta(a.get(k, 0), b.get(k, 0)) for k in keys}
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Load a report from ``path``: a ``dgl-trace-report/1`` JSON document
+    or a ``dgl-trace/1`` JSONL artifact (analyzed on the fly)."""
+    with open(path) as fh:
+        first = fh.readline()
+    try:
+        head = json.loads(first)
+    except ValueError:
+        head = None
+    if isinstance(head, dict) and head.get("schema") == "dgl-trace/1":
+        from repro.obs.profiler import analyze_trace
+
+        report, violations = analyze_trace(path)
+        if report is None:
+            raise ValueError(f"{path}: unreadable trace ({violations[:1]})")
+        return report
+    with open(path) as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or document.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"{path}: neither a {REPORT_SCHEMA} report nor a dgl-trace/1 trace"
+        )
+    return document
+
+
+_PCTS = ("p50", "p90", "p99")
+
+
+def diff_reports(a: Dict[str, object], b: Dict[str, object]) -> Dict[str, object]:
+    """Compare two ``dgl-trace-report/1`` documents."""
+    out: Dict[str, object] = {"schema": DIFF_SCHEMA}
+    out["source"] = {
+        "a": (a.get("source") or {}).get("meta") or {},
+        "b": (b.get("source") or {}).get("meta") or {},
+    }
+
+    out["transactions"] = _delta_map(
+        a.get("transactions") or {},
+        b.get("transactions") or {},
+        ("begun", "committed", "aborted"),
+    )
+
+    ops_a = a.get("operations") or {}
+    ops_b = b.get("operations") or {}
+    operations: Dict[str, Dict[str, object]] = {}
+    for kind in sorted(set(ops_a) | set(ops_b)):
+        sa = ops_a.get(kind) or {}
+        sb = ops_b.get(kind) or {}
+        la = sa.get("latency") or {}
+        lb = sb.get("latency") or {}
+        operations[kind] = dict(
+            _delta_map(sa, sb, ("count", "ok", "failed", "waits", "restarts")),
+            latency={p: _delta(la.get(p, 0), lb.get(p, 0)) for p in _PCTS},
+        )
+    out["operations"] = operations
+
+    bc_a = a.get("boundary_changes") or {}
+    bc_b = b.get("boundary_changes") or {}
+    out["boundary_changes"] = _delta_map(bc_a, bc_b, ("inserts", "changed", "fraction"))
+
+    lw_a = a.get("lock_waits") or {}
+    lw_b = b.get("lock_waits") or {}
+    out["lock_waits"] = dict(
+        _delta_map(lw_a, lw_b, ("total", "granted", "aborted", "timed_out", "unresolved")),
+        wait_time={
+            p: _delta(
+                (lw_a.get("wait_time") or {}).get(p, 0),
+                (lw_b.get("wait_time") or {}).get(p, 0),
+            )
+            for p in _PCTS
+        },
+    )
+
+    heat_a = {row["resource"]: row for row in a.get("heatmap") or []}
+    heat_b = {row["resource"]: row for row in b.get("heatmap") or []}
+    heatmap: List[Dict[str, object]] = []
+    for resource in sorted(set(heat_a) | set(heat_b)):
+        ra = heat_a.get(resource) or {}
+        rb = heat_b.get(resource) or {}
+        row = _delta_map(ra, rb, ("acquisitions", "waits", "wait_time"))
+        if any(cell["delta"] for cell in row.values()):
+            heatmap.append(
+                dict(
+                    row,
+                    resource=resource,
+                    status=(
+                        "added" if not ra else "removed" if not rb else "changed"
+                    ),
+                )
+            )
+    # hottest drift first: by |wait_time delta|, then |waits delta|
+    heatmap.sort(
+        key=lambda r: (
+            -abs(r["wait_time"]["delta"]),
+            -abs(r["waits"]["delta"]),
+            r["resource"],
+        )
+    )
+    out["heatmap"] = heatmap
+    out["lock_count"] = _delta(
+        sum(_num(row.get("acquisitions")) for row in heat_a.values()),
+        sum(_num(row.get("acquisitions")) for row in heat_b.values()),
+    )
+
+    out["smo"] = _delta_map(
+        a.get("smo") or {}, b.get("smo") or {},
+        ("grows", "splits", "eliminations", "reinserts"),
+    )
+    out["vacuum"] = _delta_map(
+        a.get("vacuum") or {}, b.get("vacuum") or {},
+        ("enqueued", "passes", "attempts", "processed", "requeued"),
+    )
+    out["buffer"] = _delta_map(a.get("buffer") or {}, b.get("buffer") or {}, ("misses",))
+
+    out["identical"] = not _nonzero_deltas(out)
+    return out
+
+
+def _nonzero_deltas(node, path: str = "") -> List[str]:
+    """Every path in the diff whose delta is nonzero (source/meta excluded)."""
+    found: List[str] = []
+    if isinstance(node, dict):
+        if set(node) >= {"a", "b", "delta"}:
+            if node["delta"]:
+                found.append(path)
+            return found
+        for key, value in node.items():
+            if key in ("schema", "source", "identical", "resource", "status"):
+                continue
+            found.extend(_nonzero_deltas(value, f"{path}.{key}" if path else str(key)))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            label = value.get("resource", i) if isinstance(value, dict) else i
+            found.extend(_nonzero_deltas(value, f"{path}[{label}]"))
+    return found
+
+
+def _metric_drift(diff: Dict[str, object], metric: str) -> Optional[float]:
+    """Absolute drift of one named ``--fail-on`` metric, or None if unknown."""
+    if metric == "boundary_fraction":
+        return abs(diff["boundary_changes"]["fraction"]["delta"])
+    if metric == "lock_count":
+        return abs(diff["lock_count"]["delta"])
+    if metric == "waits":
+        return abs(diff["lock_waits"]["total"]["delta"])
+    if metric.startswith("wait_p"):
+        p = metric[len("wait_"):]
+        if p in _PCTS:
+            return abs(diff["lock_waits"]["wait_time"][p]["delta"])
+        return None
+    if metric.startswith("latency_p"):
+        p = metric[len("latency_"):]
+        if p not in _PCTS:
+            return None
+        drifts = [
+            abs(stats["latency"][p]["delta"]) for stats in diff["operations"].values()
+        ]
+        return max(drifts) if drifts else 0.0
+    return None
+
+
+def check_thresholds(
+    diff: Dict[str, object], specs: Sequence[str]
+) -> Tuple[List[str], List[str]]:
+    """Evaluate ``--fail-on`` specs against a diff.
+
+    Returns ``(failures, errors)``: failures are exceeded thresholds,
+    errors are malformed/unknown specs (both should fail the CLI).
+    """
+    failures: List[str] = []
+    errors: List[str] = []
+    for spec in specs:
+        spec = spec.strip()
+        if spec == "any":
+            paths = _nonzero_deltas(diff)
+            if paths:
+                shown = ", ".join(paths[:8]) + (" ..." if len(paths) > 8 else "")
+                failures.append(
+                    f"any: {len(paths)} nonzero delta(s) ({shown})"
+                )
+            continue
+        metric, sep, limit_text = spec.partition("=")
+        if not sep:
+            errors.append(f"bad --fail-on spec {spec!r} (want {_METRIC_HELP})")
+            continue
+        try:
+            limit = float(limit_text)
+        except ValueError:
+            errors.append(f"bad --fail-on limit in {spec!r}")
+            continue
+        drift = _metric_drift(diff, metric.strip())
+        if drift is None:
+            errors.append(f"unknown --fail-on metric {metric!r} (want {_METRIC_HELP})")
+        elif drift > limit:
+            failures.append(f"{metric}: |drift| {round(drift, 6)} > limit {limit}")
+    return failures, errors
+
+
+def format_diff(diff: Dict[str, object], max_rows: int = 10) -> str:
+    """Terminal rendering of a ``dgl-trace-diff/1`` document."""
+    if diff["identical"]:
+        return "reports identical: zero deltas"
+    lines: List[str] = []
+    changed = _nonzero_deltas(diff)
+    lines.append(f"reports differ: {len(changed)} nonzero delta(s)")
+
+    def _counter_line(title: str, table: Dict[str, Dict[str, float]]) -> None:
+        drifted = {k: v for k, v in table.items() if v["delta"]}
+        if drifted:
+            parts = ", ".join(
+                f"{k} {v['a']:g}->{v['b']:g} ({v['delta']:+g})"
+                for k, v in drifted.items()
+            )
+            lines.append(f"  {title}: {parts}")
+
+    _counter_line("transactions", diff["transactions"])
+    _counter_line("boundary changes (§3.4)", diff["boundary_changes"])
+    lw = dict(diff["lock_waits"])
+    wait_time = lw.pop("wait_time")
+    _counter_line("lock waits", lw)
+    _counter_line("wait-time percentiles", wait_time)
+    if diff["lock_count"]["delta"]:
+        lc = diff["lock_count"]
+        lines.append(
+            f"  lock count (heatmap acquisitions): "
+            f"{lc['a']:g}->{lc['b']:g} ({lc['delta']:+g})"
+        )
+    for kind, stats in diff["operations"].items():
+        latency = {f"latency.{p}": v for p, v in stats["latency"].items()}
+        counters = {k: v for k, v in stats.items() if k != "latency"}
+        _counter_line(f"op {kind}", dict(counters, **latency))
+    if diff["heatmap"]:
+        lines.append("  heatmap drift (hottest first):")
+        for row in diff["heatmap"][:max_rows]:
+            lines.append(
+                f"    {row['resource']:<16} [{row['status']}] "
+                f"acq {row['acquisitions']['delta']:+g}, "
+                f"waits {row['waits']['delta']:+g}, "
+                f"wait_time {row['wait_time']['delta']:+g}"
+            )
+        hidden = len(diff["heatmap"]) - max_rows
+        if hidden > 0:
+            lines.append(f"    ... {hidden} cooler drifted resource(s)")
+    _counter_line("smo", diff["smo"])
+    _counter_line("vacuum", diff["vacuum"])
+    _counter_line("buffer", diff["buffer"])
+    return "\n".join(lines)

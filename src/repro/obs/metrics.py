@@ -22,7 +22,8 @@ Design constraints, in order:
 
 from __future__ import annotations
 
-from bisect import bisect_right
+import math
+from bisect import bisect_left
 from collections import Counter as _Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -113,7 +114,9 @@ class Histogram:
         self.max = 0.0
 
     def observe(self, value: float) -> None:
-        self.buckets[bisect_right(self.bounds, value)] += 1
+        # bounds are *inclusive* upper edges: a value landing exactly on
+        # an edge belongs to that edge's bucket (bisect_left, not _right)
+        self.buckets[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
         if value > self.max:
@@ -131,7 +134,7 @@ class Histogram:
         """
         if not self.count:
             return 0.0
-        rank = max(1, int(q * self.count + 0.999999))
+        rank = max(1, math.ceil(q * self.count))
         seen = 0
         for idx, n in enumerate(self.buckets):
             seen += n

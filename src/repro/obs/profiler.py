@@ -22,6 +22,7 @@ Everything is deterministic: the report depends only on the event list.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.tracer import load_jsonl
@@ -37,10 +38,16 @@ _WAIT_OUTCOMES = {
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    The nearest-rank definition: the smallest value with at least
+    ``q * n`` of the sample at or below it, i.e. index ``ceil(q * n)``
+    (1-based).  ``math.ceil`` is exact where the old ``+ 0.999999``
+    trick mis-rounded exact multiples (e.g. q=0.25 over 4 values).
+    """
     if not sorted_values:
         return 0.0
-    rank = max(1, int(q * len(sorted_values) + 0.999999))
+    rank = max(1, math.ceil(q * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
@@ -227,13 +234,17 @@ def analyze_events(
     ]
     hot_resources = [row["resource"] for row in heatmap if row["waits"]]
 
+    dropped = int(header.get("dropped") or 0)
     return {
         "schema": REPORT_SCHEMA,
         "source": {
             "events": len(events),
-            "dropped": int(header.get("dropped") or 0),
+            "dropped": dropped,
             "meta": header.get("meta") or {},
         },
+        # A ring that wrapped lost the oldest events: every profile below
+        # is computed from a truncated timeline and must say so.
+        "truncated": bool(dropped),
         "transactions": txns,
         "operations": {
             kind: dict(stats, latency=_latency_summary(op_durations.get(kind, [])))
@@ -285,6 +296,11 @@ def format_report(report: Dict[str, object], max_rows: int = 10) -> str:
         f"trace: {src['events']} events, {src['dropped']} dropped"
         + (f", meta={src['meta']}" if src["meta"] else "")
     )
+    if report.get("truncated"):
+        lines.append(
+            "WARNING: trace truncated -- the ring dropped "
+            f"{src['dropped']} event(s); the profile covers only the tail"
+        )
     t = report["transactions"]
     lines.append(
         f"transactions: {t['begun']} begun, {t['committed']} committed, {t['aborted']} aborted"

@@ -1,0 +1,456 @@
+"""The single-file HTML dashboard (``obs render``).
+
+Turns one recorded trace -- via its contention report
+(``dgl-trace-report/1``), critical-path report (``dgl-critpath/1``) and
+audit verdict (``dgl-audit/1``) -- into **one self-contained HTML file**:
+every style inline, every chart inline SVG or plain HTML, zero external
+assets, no scripts.  The output is a *pure function of the input
+reports*: no timestamps, no random ids, no environment reads -- rendering
+the same deterministic trace twice yields byte-identical files (CI checks
+exactly that).
+
+Sections:
+
+* headline stat tiles (transactions, waits, §3.4 boundary-change
+  fraction, buffer misses);
+* the audit verdict -- status-colored with an icon + label (never color
+  alone), plus the violation table when the auditor found any;
+* an SVG **wait timeline**: one row per hot resource, each wait segment a
+  bar from enqueue to resolution, colored by outcome (hover a segment
+  for waiter/mode/duration via native ``<title>`` tooltips);
+* the **lock heatmap** as a table with inline magnitude bars;
+* per-operation **latency tables** (nearest-rank p50/p90/p99);
+* the transaction **critical paths**: run/wait composition bars and the
+  top-blocker ranking.
+
+Palette: chart chrome wears ink tokens; series hues are the validated
+categorical slots (blue/orange/aqua); the audit state uses the reserved
+status palette.  Light and dark are both defined -- dark is its own
+stepped palette behind ``prefers-color-scheme`` and a ``data-theme``
+override, not an automatic inversion.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+RENDER_SCHEMA = "dgl-dashboard/1"
+
+# -- palette (reference instance; see docs/OBSERVABILITY.md) -----------------
+
+_CSS = """
+:root { color-scheme: light dark; }
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --ring: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --status-good: #0ca30c; --status-warning: #fab219;
+  --status-serious: #ec835a; --status-critical: #d03b3b;
+  --seq-lo: #cde2fb; --seq-hi: #0d366b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --ring: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+  --grid: #2c2c2a; --axis: #383835; --ring: rgba(255,255,255,0.10);
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+}
+body { margin: 0; background: var(--page); }
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--ink-1); background: var(--page);
+  max-width: 980px; margin: 0 auto; padding: 24px 16px 48px;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.meta { color: var(--ink-2); font-size: 13px; margin-bottom: 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 10px 14px; min-width: 120px;
+}
+.tile .v { font-size: 22px; font-weight: 600; }
+.tile .k { font-size: 12px; color: var(--ink-2); }
+.card {
+  background: var(--surface-1); border: 1px solid var(--ring);
+  border-radius: 8px; padding: 12px 14px;
+}
+.verdict { display: flex; align-items: center; gap: 8px; font-weight: 600; }
+.verdict.clean { color: var(--status-good); }
+.verdict.dirty { color: var(--status-critical); }
+table { border-collapse: collapse; font-size: 13px; width: 100%; }
+th { text-align: left; color: var(--ink-2); font-weight: 500;
+     border-bottom: 1px solid var(--axis); padding: 4px 10px 4px 0; }
+td { border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+     font-variant-numeric: tabular-nums; }
+td.label { font-variant-numeric: normal; }
+.bar-cell { min-width: 160px; }
+.bar { height: 10px; border-radius: 4px; background: var(--series-1); }
+.bar.run { background: var(--series-1); }
+.bar.wait { background: var(--series-2); }
+.compo { display: flex; gap: 2px; height: 10px; }
+.legend { display: flex; gap: 16px; font-size: 12px; color: var(--ink-2);
+          margin: 6px 0; flex-wrap: wrap; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+              border-radius: 3px; vertical-align: -1px; margin-right: 4px; }
+svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+.note { color: var(--ink-muted); font-size: 12px; }
+"""
+
+_OUTCOME_FILL = {
+    "granted": "var(--series-1)",
+    "aborted": "var(--status-critical)",
+    "timed_out": "var(--status-warning)",
+    "unresolved": "var(--ink-muted)",
+}
+_OUTCOME_ICON = {
+    "granted": "■",       # filled square
+    "aborted": "✗",       # cross
+    "timed_out": "⏱",     # stopwatch
+    "unresolved": "□",    # open square
+}
+
+
+def _fmt(value, digits: int = 6) -> str:
+    if value is None:
+        return "?"
+    if isinstance(value, float):
+        return f"{round(value, digits):g}"
+    return str(value)
+
+
+def _tile(value: str, label: str) -> str:
+    return (
+        f'<div class="tile"><div class="v">{escape(value)}</div>'
+        f'<div class="k">{escape(label)}</div></div>'
+    )
+
+
+def _verdict_section(verdict: Optional[Dict[str, object]]) -> str:
+    if verdict is None:
+        return (
+            '<h2>Protocol audit</h2><div class="card">'
+            '<span class="note">no audit verdict attached</span></div>'
+        )
+    clean = bool(verdict.get("clean"))
+    icon = "✓" if clean else "✗"
+    label = "CLEAN" if clean else "VIOLATIONS FOUND"
+    cls = "clean" if clean else "dirty"
+    rows: List[str] = [
+        f'<div class="verdict {cls}"><span>{icon}</span>'
+        f"<span>audit {escape(label)}</span>"
+        f'<span class="note">({_fmt(verdict.get("events"))} events, '
+        f'{_fmt(verdict.get("locks_checked"))} lock requests checked)</span></div>'
+    ]
+    violations = verdict.get("violations") or []
+    if violations:
+        body = "".join(
+            f'<tr><td class="label">{escape(str(v.get("rule")))}</td>'
+            f'<td>{_fmt(v.get("seq"))}</td>'
+            f'<td class="label">{escape(str(v.get("txn")))}</td>'
+            f'<td class="label">{escape(str(v.get("detail")))}</td></tr>'
+            for v in violations
+        )
+        rows.append(
+            "<table><thead><tr><th>rule</th><th>seq</th><th>txn</th>"
+            f"<th>detail</th></tr></thead><tbody>{body}</tbody></table>"
+        )
+        suppressed = verdict.get("suppressed_violations") or 0
+        if suppressed:
+            rows.append(
+                f'<div class="note">... {_fmt(suppressed)} further violation(s) '
+                "beyond the recording cap</div>"
+            )
+    return f'<h2>Protocol audit</h2><div class="card">{"".join(rows)}</div>'
+
+
+def _timeline_section(report: Dict[str, object], max_rows: int = 14) -> str:
+    timelines: Dict[str, List[Dict[str, object]]] = report.get("wait_timelines") or {}
+    rows: List[Tuple[str, List[Dict[str, object]]]] = [
+        (resource, segments) for resource, segments in timelines.items() if segments
+    ][:max_rows]
+    if not rows:
+        return (
+            "<h2>Wait timeline</h2>"
+            '<div class="card"><span class="note">no lock waits in this trace'
+            "</span></div>"
+        )
+    points: List[float] = []
+    for _resource, segments in rows:
+        for seg in segments:
+            points.append(float(seg["start"]))
+            if seg.get("end") is not None:
+                points.append(float(seg["end"]))
+    t0, t1 = min(points), max(points)
+    span = (t1 - t0) or 1.0
+    label_w, plot_w, row_h, pad = 150, 760, 20, 22
+    height = pad + row_h * len(rows) + 18
+    width = label_w + plot_w + 10
+
+    def _x(ts: float) -> float:
+        return round(label_w + (ts - t0) / span * plot_w, 2)
+
+    parts: List[str] = [
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'role="img" aria-label="per-resource lock wait timeline">'
+    ]
+    # hairline grid: 4 vertical time gridlines + axis labels
+    for i in range(5):
+        gx = round(label_w + plot_w * i / 4, 2)
+        gt = t0 + span * i / 4
+        parts.append(
+            f'<line x1="{gx}" y1="{pad - 6}" x2="{gx}" y2="{height - 18}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{gx}" y="{height - 4}" font-size="10" '
+            f'fill="var(--ink-muted)" text-anchor="middle">{_fmt(gt, 3)}</text>'
+        )
+    for i, (resource, segments) in enumerate(rows):
+        y = pad + i * row_h
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + 12}" font-size="11" '
+            f'fill="var(--ink-2)" text-anchor="end">{escape(resource)}</text>'
+        )
+        for seg in sorted(segments, key=lambda s: float(s["start"])):
+            start = float(seg["start"])
+            end = float(seg["end"]) if seg.get("end") is not None else t1
+            outcome = str(seg.get("outcome") or "unresolved")
+            x0, x1 = _x(start), _x(end)
+            bar_w = max(2.0, round(x1 - x0, 2))
+            fill = _OUTCOME_FILL.get(outcome, "var(--ink-muted)")
+            tooltip = (
+                f"{seg.get('txn')} waits on {resource} [{seg.get('mode')}] "
+                f"-> {outcome}"
+                + (f", {_fmt(seg.get('wait'))}s" if seg.get("wait") is not None else "")
+            )
+            parts.append(
+                f'<rect x="{x0}" y="{y + 3}" width="{bar_w}" height="12" '
+                f'rx="4" fill="{fill}" stroke="var(--surface-1)" '
+                f'stroke-width="2"><title>{escape(tooltip)}</title></rect>'
+            )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span><span class="sw" style="background:{_OUTCOME_FILL[o]}"></span>'
+        f"{_OUTCOME_ICON[o]} {o}</span>"
+        for o in ("granted", "aborted", "timed_out", "unresolved")
+    )
+    return (
+        "<h2>Wait timeline</h2>"
+        f'<div class="legend">{legend}</div>'
+        f'<div class="card">{"".join(parts)}</div>'
+    )
+
+
+def _heatmap_section(report: Dict[str, object]) -> str:
+    heatmap: List[Dict[str, object]] = report.get("heatmap") or []
+    if not heatmap:
+        return ""
+    max_wait = max((float(r["wait_time"]) for r in heatmap), default=0.0) or 1.0
+    max_acq = max((int(r["acquisitions"]) for r in heatmap), default=0) or 1
+    body: List[str] = []
+    for row in heatmap:
+        wait_pct = round(float(row["wait_time"]) / max_wait * 100, 2)
+        acq_pct = round(int(row["acquisitions"]) / max_acq * 100, 2)
+        body.append(
+            f'<tr><td class="label">{escape(str(row["resource"]))}</td>'
+            f'<td>{_fmt(row["acquisitions"])}</td>'
+            f'<td class="bar-cell"><div class="bar" '
+            f'style="width:{acq_pct}%"></div></td>'
+            f'<td>{_fmt(row["waits"])}</td>'
+            f'<td>{_fmt(row["wait_time"])}</td>'
+            f'<td class="bar-cell"><div class="bar wait" '
+            f'style="width:{wait_pct}%"></div></td></tr>'
+        )
+    truncated = report.get("heatmap_truncated") or 0
+    note = (
+        f'<div class="note">... {_fmt(truncated)} cooler resource(s) omitted</div>'
+        if truncated
+        else ""
+    )
+    return (
+        "<h2>Lock heatmap</h2>"
+        '<div class="legend"><span><span class="sw" '
+        'style="background:var(--series-1)"></span>acquisitions</span>'
+        '<span><span class="sw" style="background:var(--series-2)"></span>'
+        "accumulated wait time</span></div>"
+        '<div class="card"><table><thead><tr><th>resource</th>'
+        "<th>acq</th><th></th><th>waits</th><th>wait time</th><th></th>"
+        f'</tr></thead><tbody>{"".join(body)}</tbody></table>{note}</div>'
+    )
+
+
+def _latency_section(report: Dict[str, object]) -> str:
+    operations: Dict[str, Dict[str, object]] = report.get("operations") or {}
+    if not operations:
+        return ""
+    body: List[str] = []
+    for kind, stats in operations.items():
+        lat = stats.get("latency") or {}
+        body.append(
+            f'<tr><td class="label">{escape(kind)}</td>'
+            f'<td>{_fmt(stats.get("count"))}</td>'
+            f'<td>{_fmt(stats.get("ok"))}</td>'
+            f'<td>{_fmt(stats.get("failed"))}</td>'
+            f'<td>{_fmt(stats.get("waits"))}</td>'
+            f'<td>{_fmt(stats.get("restarts"))}</td>'
+            f'<td>{_fmt(lat.get("p50"))}</td>'
+            f'<td>{_fmt(lat.get("p90"))}</td>'
+            f'<td>{_fmt(lat.get("p99"))}</td>'
+            f'<td>{_fmt(lat.get("max"))}</td></tr>'
+        )
+    return (
+        "<h2>Operation latency (nearest-rank percentiles)</h2>"
+        '<div class="card"><table><thead><tr><th>kind</th><th>n</th>'
+        "<th>ok</th><th>failed</th><th>waits</th><th>restarts</th>"
+        "<th>p50</th><th>p90</th><th>p99</th><th>max</th></tr></thead>"
+        f'<tbody>{"".join(body)}</tbody></table></div>'
+    )
+
+
+def _critpath_section(critpath: Optional[Dict[str, object]]) -> str:
+    if critpath is None:
+        return ""
+    paths: List[Dict[str, object]] = critpath.get("critical_paths") or []
+    if not paths:
+        return ""
+    max_total = max(
+        (float(r["total"]) for r in paths if r.get("total") is not None), default=0.0
+    ) or 1.0
+    body: List[str] = []
+    for record in paths:
+        total = record.get("total")
+        run = record.get("run_time")
+        wait = record.get("wait_time") or 0.0
+        if total is not None:
+            run_pct = round(float(run or 0.0) / max_total * 100, 2)
+            wait_pct = round(float(wait) / max_total * 100, 2)
+            compo = (
+                f'<div class="compo" title="run {_fmt(run)} / wait {_fmt(wait)}">'
+                f'<div class="bar run" style="width:{run_pct}%"></div>'
+                f'<div class="bar wait" style="width:{wait_pct}%"></div></div>'
+            )
+        else:
+            compo = '<span class="note">open</span>'
+        body.append(
+            f'<tr><td class="label">{escape(str(record["txn"]))}</td>'
+            f'<td class="label">{escape(str(record["outcome"]))}</td>'
+            f'<td>{_fmt(total)}</td><td>{_fmt(run)}</td><td>{_fmt(wait)}</td>'
+            f'<td>{_fmt(round(float(record.get("wait_fraction") or 0.0) * 100, 1))}%</td>'
+            f'<td class="bar-cell">{compo}</td></tr>'
+        )
+    blockers = critpath.get("top_blockers") or []
+    blocker_rows = "".join(
+        f'<tr><td class="label">{escape(str(row["who"]))}</td>'
+        f'<td>{_fmt(row["blocked_time"])}</td><td>{_fmt(row["waits"])}</td></tr>'
+        for row in blockers
+    )
+    blockers_html = (
+        "<h2>Top blockers (attributed blocked time)</h2>"
+        '<div class="card"><table><thead><tr><th>transaction</th>'
+        "<th>blocked time inflicted</th><th>waits</th></tr></thead>"
+        f"<tbody>{blocker_rows}</tbody></table></div>"
+        if blocker_rows
+        else ""
+    )
+    return (
+        "<h2>Transaction critical paths (slowest first)</h2>"
+        '<div class="legend"><span><span class="sw" '
+        'style="background:var(--series-1)"></span>run</span>'
+        '<span><span class="sw" style="background:var(--series-2)"></span>'
+        "wait</span></div>"
+        '<div class="card"><table><thead><tr><th>txn</th><th>outcome</th>'
+        "<th>total</th><th>run</th><th>wait</th><th>waiting</th>"
+        '<th>composition</th></tr></thead>'
+        f'<tbody>{"".join(body)}</tbody></table></div>' + blockers_html
+    )
+
+
+def render_dashboard(
+    report: Dict[str, object],
+    critpath: Optional[Dict[str, object]] = None,
+    verdict: Optional[Dict[str, object]] = None,
+    title: str = "DGL trace dashboard",
+) -> str:
+    """Render one self-contained HTML dashboard (a pure function)."""
+    src = report.get("source") or {}
+    meta = src.get("meta") or {}
+    meta_text = ", ".join(f"{k}={meta[k]}" for k in sorted(meta)) or "no meta"
+    truncated = (
+        ' <strong>[truncated: ring dropped '
+        f'{_fmt(src.get("dropped"))} event(s)]</strong>'
+        if src.get("dropped")
+        else ""
+    )
+    t = report.get("transactions") or {}
+    lw = report.get("lock_waits") or {}
+    bc = report.get("boundary_changes") or {}
+    buf = report.get("buffer") or {}
+    tiles = "".join(
+        (
+            _tile(_fmt(t.get("committed", 0)), "txns committed"),
+            _tile(_fmt(t.get("aborted", 0)), "txns aborted"),
+            _tile(_fmt(lw.get("total", 0)), "lock waits"),
+            _tile(_fmt((lw.get("wait_time") or {}).get("p99", 0)), "wait p99 (s)"),
+            _tile(f'{_fmt(bc.get("fraction", 0.0))}', "§3.4 boundary fraction"),
+            _tile(_fmt(buf.get("misses", 0)), "buffer misses"),
+        )
+    )
+    sections = "".join(
+        (
+            _verdict_section(verdict),
+            _timeline_section(report),
+            _heatmap_section(report),
+            _latency_section(report),
+            _critpath_section(critpath),
+        )
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{escape(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f'<body><div class="viz-root">\n'
+        f"<h1>{escape(title)}</h1>\n"
+        f'<div class="meta">{escape(meta_text)} &middot; '
+        f'{_fmt(src.get("events"))} events{truncated}</div>\n'
+        f'<div class="tiles">{tiles}</div>\n'
+        f"{sections}\n"
+        f"</div></body></html>\n"
+    )
+
+
+def render_from_trace(path: str, title: Optional[str] = None) -> Tuple[str, List[str]]:
+    """Load a trace, run the profiler + critical-path analyzer + auditor,
+    and render the dashboard.  Returns ``(html, schema_violations)``."""
+    from repro.obs.auditor import ProtocolAuditor
+    from repro.obs.critical_path import analyze_critical_path
+    from repro.obs.profiler import analyze_events
+    from repro.obs.tracer import load_jsonl
+
+    header, events, violations = load_jsonl(path)
+    if not header:
+        raise ValueError(f"{path}: unreadable trace ({violations[:1]})")
+    report = analyze_events(header, events)
+    critpath = analyze_critical_path(header, events)
+    verdict = None
+    if not int(header.get("dropped") or 0):
+        # a truncated stream would trip the auditor on missing context;
+        # only audit complete traces
+        verdict = ProtocolAuditor().replay(events).verdict()
+    meta = header.get("meta") or {}
+    if title is None:
+        title = "DGL trace dashboard"
+        if meta:
+            title += " — " + ", ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    return render_dashboard(report, critpath=critpath, verdict=verdict, title=title), violations

@@ -124,7 +124,7 @@ class EventTracer:
     header (seed, policy, workload parameters...).
     """
 
-    __slots__ = ("clock", "capacity", "events", "dropped", "meta", "_seq")
+    __slots__ = ("clock", "capacity", "events", "dropped", "meta", "sinks", "_seq")
 
     def __init__(
         self,
@@ -139,6 +139,12 @@ class EventTracer:
         self.events: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self.dropped = 0
         self.meta: Dict[str, object] = dict(meta or {})
+        #: streaming consumers (the online auditor): each is called with
+        #: the completed event dict, synchronously, *before* the ring can
+        #: overwrite it -- a sink therefore sees every event even when the
+        #: ring wraps.  Sinks must only record, never block or re-enter
+        #: the lock manager (they may run under a stripe mutex).
+        self.sinks: List[Callable[[Dict[str, object]], None]] = []
         self._seq = itertools.count()
 
     # -- emission ------------------------------------------------------
@@ -154,6 +160,19 @@ class EventTracer:
         if len(self.events) == self.capacity:
             self.dropped += 1
         self.events.append(event)
+        for sink in self.sinks:
+            sink(event)
+
+    def add_sink(self, sink: Callable[[Dict[str, object]], None]) -> None:
+        """Attach a streaming consumer (see :attr:`sinks`)."""
+        self.sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Dict[str, object]], None]) -> None:
+        """Detach a previously attached consumer (no-op if absent)."""
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            pass
 
     def next_span_id(self) -> int:
         """A fresh id for correlating ``op.begin``/``op.end`` pairs."""

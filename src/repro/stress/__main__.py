@@ -61,17 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "(multi-seed sweeps get a -seedN suffix per file); "
                              "without this flag, only failing seeds are traced, "
                              "via a deterministic replay next to their artifact")
+    parser.add_argument("--no-audit", action="store_true",
+                        help="drop the online protocol auditor (on by default: "
+                             "every run streams through the flight-recorder "
+                             "auditor and audit violations fail the sweep)")
     parser.add_argument("--quiet", action="store_true", help="only print failures and the summary")
     return parser
 
 
-def _traced_run(config: StressConfig, path: str):
+def _traced_run(config: StressConfig, path: str, audit: bool = True):
     """Run one stress schedule with tracing and write its JSONL sidecar."""
     from repro.obs import EventTracer
 
     tracer = EventTracer(meta={"source": "stress", "seed": config.seed,
                                "policy": config.policy})
-    result = run_stress(config, tracer=tracer)
+    result = run_stress(config, tracer=tracer, audit=audit)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
@@ -92,10 +96,10 @@ def main(argv: List[str] = None) -> int:
     if args.replay:
         config, doc = load_artifact(args.replay)
         if args.trace:
-            result = _traced_run(config, args.trace)
+            result = _traced_run(config, args.trace, audit=not args.no_audit)
             print(f"trace: {args.trace}")
         else:
-            result = run_stress(config)
+            result = run_stress(config, audit=not args.no_audit)
         print(result.summary())
         for violation in result.violations:
             print(f"  {violation}")
@@ -127,10 +131,10 @@ def main(argv: List[str] = None) -> int:
         )
         if args.trace:
             trace_path = _trace_path(args.trace, seed, many=len(args.seed) > 1)
-            result = _traced_run(config, trace_path)
+            result = _traced_run(config, trace_path, audit=not args.no_audit)
         else:
             trace_path = None
-            result = run_stress(config)
+            result = run_stress(config, audit=not args.no_audit)
         ran += 1
         if result.ok:
             if not args.quiet:

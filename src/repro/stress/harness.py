@@ -115,6 +115,9 @@ class StressResult:
     schedule_len: int = 0
     #: the last dispatches before the run ended (artifact debugging aid)
     schedule_tail: List[tuple] = field(default_factory=list)
+    #: the online auditor's ``dgl-audit/1`` verdict when the run was
+    #: audited (``run_stress(..., audit=True)``); ``None`` otherwise
+    audit_verdict: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -176,6 +179,7 @@ def run_stress(
     config: StressConfig,
     wait_strategy_factory: Optional[Callable[[Simulator], SimulatedWait]] = None,
     tracer=None,
+    audit: bool = False,
 ) -> StressResult:
     """Execute one seeded stress schedule and run the oracle over it.
 
@@ -187,6 +191,14 @@ def run_stress(
     ``dgl-trace/1`` event stream; its clock is rebound to the simulator
     clock so replaying the same config yields a byte-identical trace.
     ``None`` (the default) leaves every seam un-instrumented.
+
+    ``audit=True`` attaches the online protocol auditor
+    (:class:`repro.obs.auditor.ProtocolAuditor`) as a tracer sink for the
+    whole run -- flight-recorder style: when no ``tracer`` is supplied a
+    small bounded ring is created just to carry the sink, so auditing
+    costs a few dict operations per event and constant memory.  Audit
+    findings are appended to the result's violations and the full verdict
+    is kept in :attr:`StressResult.audit_verdict`.
     """
     preload = make_preload(config)
     scripts = config.scripts if config.scripts is not None else make_scripts(config, preload)
@@ -213,6 +225,22 @@ def run_stress(
     )
     injector = FaultInjector(sim, config.faults, config.seed)
     index.protocol.yield_hook = injector.hook
+    auditor = None
+    if audit:
+        from repro.obs.auditor import FlightRecorder, ProtocolAuditor
+
+        auditor = ProtocolAuditor()
+        if tracer is None:
+            # flight-recorder mode: a small ring exists only to carry the
+            # sink; memory stays constant however long the run is
+            from repro.obs.tracer import EventTracer
+
+            tracer = EventTracer(
+                capacity=FlightRecorder.DEFAULT_CAPACITY,
+                meta={"source": "repro.stress", "seed": config.seed,
+                      "policy": config.policy, "audit": True},
+            )
+        tracer.add_sink(auditor.on_event)
     if tracer is not None:
         from repro.obs.instrument import instrument_index
 
@@ -309,6 +337,19 @@ def run_stress(
     # ignores non-simulated threads), then interrogate the oracle
     index.vacuum()
     result.violations = check_run(history, records, index, strategy, universe=UNIT)
+    if auditor is not None:
+        result.audit_verdict = auditor.verdict()
+        result.violations.extend(
+            Violation("audit", str(v)) for v in auditor.violations
+        )
+        if auditor.suppressed:
+            result.violations.append(
+                Violation(
+                    "audit",
+                    f"{auditor.suppressed} further audit violation(s) beyond "
+                    f"the recording cap",
+                )
+            )
 
     result.deadlocks = lm.deadlock_count
     result.lock_waits = lm.wait_count

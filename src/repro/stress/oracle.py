@@ -37,7 +37,7 @@ from repro.concurrency.checker import (
 )
 from repro.concurrency.history import History, OpKind
 from repro.core.granules import GranuleSet
-from repro.core.protocol import Want
+from repro.core.protocol import TABLE3_ALLOWED, TABLE3_REQUIRED_OBJ_MODE, Want
 from repro.geometry import Rect, Region
 from repro.lock.modes import LockDuration, LockMode, covers
 from repro.lock.resource import ResourceId
@@ -118,49 +118,13 @@ def find_lost_updates(history: History) -> List[Violation]:
 # 4. Table 3 lock patterns
 # ---------------------------------------------------------------------------
 
-#: allowed (namespace, mode, duration) per operation, straight from
-#: Table 3 (including post-split and inherited-coverage rows)
-_ALLOWED: Dict[str, Set[Tuple[str, LockMode, LockDuration]]] = {
-    "read_scan": {("leaf", S, COMMIT), ("ext", S, COMMIT)},
-    "read_single": {("obj", S, COMMIT)},
-    "update_single": {("leaf", IX, COMMIT), ("obj", X, COMMIT)},
-    "update_scan": {
-        ("leaf", SIX, COMMIT),
-        ("ext", SIX, COMMIT),
-        ("leaf", S, COMMIT),
-        ("ext", S, COMMIT),
-        ("obj", X, COMMIT),
-    },
-    "insert": {
-        ("leaf", IX, COMMIT),
-        ("obj", X, COMMIT),
-        # short fences: target SIX before a split, policy IX overlap set,
-        # SIX on deforming external granules
-        ("leaf", SIX, SHORT),
-        ("leaf", IX, SHORT),
-        ("ext", IX, SHORT),
-        ("ext", SIX, SHORT),
-        # post-split / inherited coverage
-        ("leaf", SIX, COMMIT),
-        ("leaf", S, COMMIT),
-        ("ext", S, COMMIT),
-    },
-    # logical delete; the absent path degenerates to a ReadScan
-    "delete": {
-        ("leaf", IX, COMMIT),
-        ("obj", X, COMMIT),
-        ("leaf", S, COMMIT),
-        ("ext", S, COMMIT),
-    },
-}
+#: allowed (namespace, mode, duration) per operation and the required
+#: object-lock modes now live next to the protocol itself
+#: (:data:`repro.core.protocol.TABLE3_ALLOWED`), so the oracle and the
+#: online auditor check one shared source of truth.
+_ALLOWED: Dict[str, Set[Tuple[str, LockMode, LockDuration]]] = TABLE3_ALLOWED
 
-#: object-lock mode each op must hold on its target when it finds it
-_REQUIRED_OBJ_MODE: Dict[str, LockMode] = {
-    "insert": X,
-    "delete": X,
-    "update_single": X,
-    "read_single": S,
-}
+_REQUIRED_OBJ_MODE: Dict[str, LockMode] = TABLE3_REQUIRED_OBJ_MODE
 
 
 def check_lock_patterns(records: Sequence[OpRecord]) -> List[Violation]:

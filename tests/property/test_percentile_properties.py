@@ -1,0 +1,75 @@
+"""Property tests pinning the nearest-rank percentile definition.
+
+The profiler's ``_percentile`` must match the textbook nearest-rank
+definition -- the smallest sample value such that at least ``q * n`` of
+the sample is at or below it -- computed here by brute force.  This pins
+the ``math.ceil`` formulation against the old ``int(q*n + 0.999999)``
+trick, which mis-rounds exact rank multiples (e.g. q=0.25 over 4 values
+picked the 2nd value instead of the 1st).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.profiler import _percentile
+
+
+def _nearest_rank_reference(values, q):
+    """Brute force: smallest v with |{x <= v}| >= ceil(q * n)."""
+    ordered = sorted(values)
+    n = len(ordered)
+    need = max(1, math.ceil(q * n))
+    for v in ordered:
+        if sum(1 for x in ordered if x <= v) >= need:
+            return v
+    return ordered[-1]
+
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestNearestRankPercentile:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        values=st.lists(finite, min_size=1, max_size=60),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_matches_brute_force_reference(self, values, q):
+        assert _percentile(sorted(values), q) == _nearest_rank_reference(values, q)
+
+    @settings(max_examples=200, deadline=None)
+    @given(values=st.lists(finite, min_size=1, max_size=60))
+    def test_extremes_and_membership(self, values):
+        ordered = sorted(values)
+        # q=0 / q->0+ picks the minimum; q=1 picks the maximum
+        assert _percentile(ordered, 0.0) == ordered[0]
+        assert _percentile(ordered, 1.0) == ordered[-1]
+        # every percentile is an actual sample value (no interpolation)
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert _percentile(ordered, q) in ordered
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(finite, min_size=1, max_size=60),
+        q1=st.floats(min_value=0.0, max_value=1.0),
+        q2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotone_in_q(self, values, q1, q2):
+        ordered = sorted(values)
+        lo, hi = min(q1, q2), max(q1, q2)
+        assert _percentile(ordered, lo) <= _percentile(ordered, hi)
+
+    def test_exact_rank_multiples_regression(self):
+        # q * n landing exactly on an integer rank: ceil must NOT round up
+        # past it (the old +0.999999 hack did)
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.25) == 1.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.75) == 3.0
+        assert _percentile([1.0, 2.0], 0.5) == 1.0
+
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.5) == 0.0

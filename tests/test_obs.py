@@ -81,6 +81,46 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             Histogram("bad", bounds=(10.0, 1.0))
 
+    def test_quantile_of_empty_histogram_is_zero(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_observation_exactly_on_bucket_bound_stays_in_that_bucket(self):
+        # bounds are inclusive upper edges: 10.0 belongs to the (1, 10]
+        # bucket, so every quantile of a single 10.0 reports edge 10.0
+        h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+        h.observe(10.0)
+        assert h.snapshot()["buckets"] == [0, 1, 0, 0]
+        assert h.quantile(0.01) == 10.0
+        assert h.quantile(1.0) == 10.0
+        # the first edge behaves the same way
+        h2 = Histogram("h2", bounds=(1.0, 10.0, 100.0))
+        h2.observe(1.0)
+        assert h2.snapshot()["buckets"] == [1, 0, 0, 0]
+        assert h2.quantile(0.5) == 1.0
+
+    def test_quantile_above_last_bound_reports_recorded_max(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(250.0)
+        h.observe(999.0)
+        # both observations sit in the overflow bucket; the conservative
+        # estimate for any quantile there is the exact recorded max
+        assert h.snapshot()["buckets"] == [0, 0, 2]
+        assert h.quantile(0.5) == 999.0
+        assert h.quantile(1.0) == 999.0
+
+    def test_quantile_rank_on_exact_multiple(self):
+        # four observations, one per bucket: q=0.25 must pick the 1st
+        # bucket, not round past it (math.ceil nearest-rank)
+        h = Histogram("h", bounds=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 2.5, 3.5):
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(0.75) == 3.0
+
     def test_snapshot_order_is_registration_order(self):
         reg = MetricsRegistry()
         reg.counter("z")

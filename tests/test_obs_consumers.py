@@ -1,0 +1,184 @@
+"""Tests for the trace consumers: critical-path forensics, the report
+differ and the HTML dashboard renderer.
+
+The integration fixtures record real stress-harness traces (simulator
+clock, so byte-stable per seed); determinism assertions compare two
+*independent recordings* of the same configuration, not two reads of one
+file.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import EventTracer, analyze_events, load_jsonl
+from repro.obs.critical_path import (
+    analyze_critical_path,
+    critical_path_from_trace,
+    format_critical_path,
+)
+from repro.obs.diff import check_thresholds, diff_reports, format_diff, load_report
+from repro.obs.render import render_dashboard, render_from_trace
+from repro.stress.harness import StressConfig, run_stress
+
+
+def _record(tmp_path, name, seed=5, policy="on-growth"):
+    tracer = EventTracer(meta={"seed": seed, "policy": policy})
+    result = run_stress(StressConfig(seed=seed, policy=policy), tracer=tracer)
+    assert result.ok, result.violations
+    path = tmp_path / name
+    tracer.dump_jsonl(str(path))
+    return path
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("traces")
+    return {
+        "a": _record(tmp_path, "a.jsonl", seed=5),
+        "a2": _record(tmp_path, "a2.jsonl", seed=5),  # independent re-recording
+        "b": _record(tmp_path, "b.jsonl", seed=9),
+    }
+
+
+class TestCriticalPath:
+    def test_latency_decomposes_into_run_plus_wait(self, traces):
+        report, violations = critical_path_from_trace(str(traces["a"]))
+        assert not violations
+        assert report["schema"] == "dgl-critpath/1"
+        closed = [r for r in report["critical_paths"] if r["total"] is not None]
+        assert closed, "expected closed transactions"
+        for record in closed:
+            # fields are independently rounded to 6 decimals, so the
+            # decomposition can be off by one ulp of that rounding
+            assert record["run_time"] + record["wait_time"] == pytest.approx(
+                record["total"], abs=2e-6
+            )
+            assert 0.0 <= record["wait_fraction"] <= 1.0
+
+    def test_wait_segments_attribute_blockers(self, traces):
+        header, events, _ = load_jsonl(str(traces["a"]))
+        report = analyze_critical_path(header, events)
+        segments = [
+            seg for rec in report["critical_paths"] for seg in rec["segments"]
+        ]
+        assert segments, "this seed must produce lock waits"
+        assert any(seg["holders"] for seg in segments)
+        assert report["top_blockers"]
+        assert report["top_resources"]
+        # attributed time is conserved: splitting by holder never creates time
+        attributed = sum(row["blocked_time"] for row in report["top_blockers"])
+        assert attributed <= report["transactions"]["total_wait_time"] + 1e-6
+
+    def test_slowest_first_and_formatting(self, traces):
+        report, _ = critical_path_from_trace(str(traces["a"]), top=5)
+        totals = [r["total"] for r in report["critical_paths"] if r["total"] is not None]
+        assert totals == sorted(totals, reverse=True)
+        text = format_critical_path(report)
+        assert "critical paths:" in text
+        assert "top blockers" in text
+
+    def test_truncated_header_is_declared(self):
+        header = {"dropped": 10}
+        report = analyze_critical_path(header, [])
+        assert report["truncated"] is True
+
+
+class TestDiff:
+    def test_same_seed_recordings_diff_empty(self, traces):
+        diff = diff_reports(load_report(str(traces["a"])), load_report(str(traces["a2"])))
+        assert diff["identical"] is True
+        assert format_diff(diff) == "reports identical: zero deltas"
+        failures, errors = check_thresholds(diff, ["any"])
+        assert not failures and not errors
+
+    def test_different_seeds_produce_deltas(self, traces):
+        diff = diff_reports(load_report(str(traces["a"])), load_report(str(traces["b"])))
+        assert diff["identical"] is False
+        failures, _ = check_thresholds(diff, ["any"])
+        assert failures
+        text = format_diff(diff)
+        assert "reports differ" in text
+
+    def test_threshold_metrics_gate_on_drift(self, traces):
+        a = load_report(str(traces["a"]))
+        b = load_report(str(traces["b"]))
+        diff = diff_reports(a, b)
+        waits_drift = abs(diff["lock_waits"]["total"]["delta"])
+        failures, errors = check_thresholds(diff, [f"waits={waits_drift + 1}"])
+        assert not failures and not errors
+        if waits_drift:
+            failures, _ = check_thresholds(diff, [f"waits={waits_drift - 1}"])
+            assert failures
+
+    def test_bad_specs_are_errors_not_crashes(self, traces):
+        diff = diff_reports(load_report(str(traces["a"])), load_report(str(traces["a"])))
+        _, errors = check_thresholds(diff, ["nope", "waits=abc", "bogus=1"])
+        assert len(errors) == 3
+
+    def test_boundary_fraction_drift_tracked(self, traces):
+        a = load_report(str(traces["a"]))
+        b = json.loads(json.dumps(a))
+        b["boundary_changes"]["fraction"] += 0.25
+        diff = diff_reports(a, b)
+        assert diff["boundary_changes"]["fraction"]["delta"] == pytest.approx(0.25)
+        failures, _ = check_thresholds(diff, ["boundary_fraction=0.1"])
+        assert failures
+
+    def test_heatmap_added_and_removed_resources(self, traces):
+        a = load_report(str(traces["a"]))
+        b = json.loads(json.dumps(a))
+        b["heatmap"] = [row for row in b["heatmap"][1:]] + [
+            {"resource": "leaf:999", "acquisitions": 3, "waits": 1, "wait_time": 0.5}
+        ]
+        diff = diff_reports(a, b)
+        statuses = {row["resource"]: row["status"] for row in diff["heatmap"]}
+        assert statuses["leaf:999"] == "added"
+        removed = a["heatmap"][0]["resource"]
+        assert statuses[removed] == "removed"
+
+
+class TestRender:
+    def test_two_recordings_render_byte_identical(self, traces):
+        html1, violations1 = render_from_trace(str(traces["a"]))
+        html2, violations2 = render_from_trace(str(traces["a2"]))
+        assert not violations1 and not violations2
+        assert html1 == html2
+
+    def test_dashboard_is_self_contained(self, traces):
+        html, _ = render_from_trace(str(traces["a"]))
+        assert html.startswith("<!DOCTYPE html>")
+        # zero external assets: no remote fetches, no scripts
+        for forbidden in ("http://", "https://", "<script", "<link", "url("):
+            assert forbidden not in html
+        # all four dashboard pieces present
+        assert "Protocol audit" in html
+        assert "Wait timeline" in html
+        assert "Lock heatmap" in html
+        assert "Operation latency" in html
+        assert "Transaction critical paths" in html
+        # audit state is icon + label, never color alone
+        assert "audit CLEAN" in html and "✓" in html
+
+    def test_dark_mode_is_selected_not_inverted(self, traces):
+        html, _ = render_from_trace(str(traces["a"]))
+        assert "prefers-color-scheme: dark" in html
+        assert 'data-theme="dark"' in html
+        # dark series steps differ from light (selected, not auto-flipped)
+        assert "#2a78d6" in html and "#3987e5" in html
+
+    def test_render_without_waits_or_audit_sections(self):
+        report = analyze_events({"dropped": 0, "meta": {}}, [])
+        html = render_dashboard(report)
+        assert "no lock waits in this trace" in html
+        assert "no audit verdict attached" in html
+
+    def test_naive_trace_renders_dirty_verdict(self, tmp_path):
+        tracer = EventTracer(meta={"seed": 7, "policy": "naive"})
+        run_stress(StressConfig(seed=7, policy="naive"), tracer=tracer)
+        path = tmp_path / "naive.jsonl"
+        tracer.dump_jsonl(str(path))
+        html, _ = render_from_trace(str(path))
+        assert "VIOLATIONS FOUND" in html
+        assert "✗" in html
+        assert "fence" in html
